@@ -1,0 +1,187 @@
+// Command maxbrstknn answers a MaxBRSTkNN query over text files produced
+// by cmd/datagen (or hand-written in the same interchange format):
+//
+//	maxbrstknn -data ./data -ws 3 -k 10 -strategy approx
+//
+// It loads objects.txt, users.txt and candidates.txt from the data
+// directory, runs the query, and prints the selected location, keyword
+// set, and the reached users.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	maxbrstknn "repro"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+func main() {
+	var (
+		dir      = flag.String("data", ".", "directory holding objects.txt, users.txt, candidates.txt")
+		ws       = flag.Int("ws", 3, "maximum keywords to select")
+		k        = flag.Int("k", 10, "top-k depth")
+		alpha    = flag.Float64("alpha", 0.5, "spatial/textual preference")
+		strategy = flag.String("strategy", "exact", "exact | approx | exhaustive | user-indexed")
+		measure  = flag.String("measure", "lm", "lm | tfidf | ko | bm25")
+		topL     = flag.Int("top", 1, "report the top-L candidate locations")
+	)
+	flag.Parse()
+
+	v := vocab.New()
+	ds := loadObjects(filepath.Join(*dir, "objects.txt"), v)
+	users := loadUsers(filepath.Join(*dir, "users.txt"), v)
+	locs, kws := loadCandidates(filepath.Join(*dir, "candidates.txt"))
+
+	b := maxbrstknn.NewBuilder()
+	for _, o := range ds.Objects {
+		b.AddObject(o.Loc.X, o.Loc.Y, termStrings(v, o.Doc)...)
+	}
+	opts := maxbrstknn.Options{Alpha: *alpha, ExplicitAlpha: true}
+	switch strings.ToLower(*measure) {
+	case "lm":
+		opts.Measure = maxbrstknn.LanguageModel
+	case "tfidf":
+		opts.Measure = maxbrstknn.TFIDF
+	case "ko":
+		opts.Measure = maxbrstknn.KeywordOverlap
+	case "bm25":
+		opts.Measure = maxbrstknn.BM25Measure
+	default:
+		fail(fmt.Errorf("unknown measure %q", *measure))
+	}
+	idx, err := b.Build(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	specs := make([]maxbrstknn.UserSpec, len(users))
+	for i, u := range users {
+		specs[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: termStrings(v, u.Doc)}
+	}
+	reqLocs := make([][2]float64, len(locs))
+	for i, l := range locs {
+		reqLocs[i] = [2]float64{l.X, l.Y}
+	}
+	req := maxbrstknn.Request{
+		Users:       specs,
+		Locations:   reqLocs,
+		Keywords:    kws,
+		MaxKeywords: *ws,
+		K:           *k,
+	}
+	switch strings.ToLower(*strategy) {
+	case "exact":
+		req.Strategy = maxbrstknn.Exact
+	case "approx":
+		req.Strategy = maxbrstknn.Approx
+	case "exhaustive":
+		req.Strategy = maxbrstknn.Exhaustive
+	case "user-indexed", "userindexed":
+		req.Strategy = maxbrstknn.UserIndexed
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	fmt.Printf("objects=%d users=%d candidate locations=%d candidate keywords=%d\n",
+		idx.NumObjects(), len(specs), len(reqLocs), len(kws))
+	fmt.Printf("strategy=%s k=%d ws=%d alpha=%.2f measure=%s\n", req.Strategy, *k, *ws, *alpha, *measure)
+
+	start := time.Now()
+	if *topL > 1 {
+		session, err := idx.NewSession(specs, *k)
+		if err != nil {
+			fail(err)
+		}
+		ranked, err := session.RunTopL(req, *topL)
+		if err != nil {
+			fail(err)
+		}
+		for i, res := range ranked {
+			fmt.Printf("#%d  location %d (%.6f, %.6f)  keywords [%s]  |BRSTkNN| = %d\n",
+				i+1, res.LocationIndex, res.Location[0], res.Location[1],
+				strings.Join(res.Keywords, ", "), res.Count())
+		}
+	} else {
+		res, err := idx.MaxBRSTkNN(req)
+		if err != nil {
+			fail(err)
+		}
+		if res.LocationIndex < 0 {
+			fmt.Println("no location attracts any user")
+			return
+		}
+		fmt.Printf("selected location: #%d (%.6f, %.6f)\n", res.LocationIndex, res.Location[0], res.Location[1])
+		fmt.Printf("selected keywords: %s\n", strings.Join(res.Keywords, ", "))
+		fmt.Printf("|BRSTkNN| = %d users: %v\n", res.Count(), res.UserIDs)
+		if res.Stats.TotalUsers > 0 {
+			fmt.Printf("user-index pruning: %d/%d resolved (%.1f%% pruned)\n",
+				res.Stats.ResolvedUsers, res.Stats.TotalUsers, res.Stats.PrunedPercent)
+		}
+	}
+	fmt.Printf("elapsed: %.1f ms, simulated I/O: %d\n",
+		float64(time.Since(start).Microseconds())/1000, idx.SimulatedIO())
+}
+
+func loadObjects(path string, v *vocab.Vocabulary) *dataset.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	ds, err := dataset.ReadObjects(f, v)
+	if err != nil {
+		fail(err)
+	}
+	return ds
+}
+
+func loadUsers(path string, v *vocab.Vocabulary) []dataset.User {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	users, err := dataset.ReadUsers(f, v)
+	if err != nil {
+		fail(err)
+	}
+	return users
+}
+
+func loadCandidates(path string) ([]geoPoint, []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	locs, kws, err := dataset.ReadCandidates(f)
+	if err != nil {
+		fail(err)
+	}
+	return locs, kws
+}
+
+// geoPoint aliases the internal geo.Point for local readability.
+type geoPoint = geo.Point
+
+func termStrings(v *vocab.Vocabulary, d vocab.Doc) []string {
+	var out []string
+	d.ForEach(func(t vocab.TermID, f int32) {
+		for i := int32(0); i < f; i++ {
+			out = append(out, v.Term(t))
+		}
+	})
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Social-media advertising — the paper's Example 1.
+//
+// Each user sees only their k most relevant advertisements (by location
+// and interests). An advertiser with an existing brand line wants to pick
+// a geo-target and up to ws extra keywords so the ad is displayed to the
+// maximum number of users. This example also shows how a Session amortizes
+// the expensive per-user threshold computation across several candidate
+// campaigns, and how shrinking k (fewer ad slots) shrinks the reachable
+// audience.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	maxbrstknn "repro"
+)
+
+var interests = []string{
+	"sneakers", "fitness", "gaming", "travel", "vegan",
+	"music", "fashion", "photography", "coffee", "cycling",
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Competing advertisements already in the auction.
+	b := maxbrstknn.NewBuilder()
+	for i := 0; i < 500; i++ {
+		kws := make([]string, 1+rng.Intn(3))
+		for j := range kws {
+			kws[j] = interests[rng.Intn(len(interests))]
+		}
+		b.AddObject(rng.Float64()*100, rng.Float64()*100, kws...)
+	}
+	idx, err := b.Build(maxbrstknn.Options{Measure: maxbrstknn.TFIDF, Alpha: 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The audience.
+	users := make([]maxbrstknn.UserSpec, 400)
+	for i := range users {
+		users[i] = maxbrstknn.UserSpec{
+			X: rng.Float64() * 100, Y: rng.Float64() * 100,
+			Keywords: []string{
+				interests[rng.Intn(len(interests))],
+				interests[rng.Intn(len(interests))],
+			},
+		}
+	}
+
+	// Candidate geo-targets (ad-region anchors).
+	targets := make([][2]float64, 8)
+	for i := range targets {
+		targets[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+
+	for _, k := range []int{5, 3, 1} {
+		session, err := idx.NewSession(users, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Campaign A: broad keyword budget.
+		broad, err := session.Run(maxbrstknn.Request{
+			Locations:        targets,
+			Keywords:         interests,
+			MaxKeywords:      3,
+			K:                k,
+			ExistingKeywords: []string{"sneakers"}, // the brand line
+			Strategy:         maxbrstknn.Approx,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Campaign B: single extra keyword, same thresholds reused.
+		narrow, err := session.Run(maxbrstknn.Request{
+			Locations:        targets,
+			Keywords:         interests,
+			MaxKeywords:      1,
+			K:                k,
+			ExistingKeywords: []string{"sneakers"},
+			Strategy:         maxbrstknn.Approx,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d  broad: target #%d + %v → %d users   narrow: target #%d + %v → %d users\n",
+			k, broad.LocationIndex, broad.Keywords, broad.Count(),
+			narrow.LocationIndex, narrow.Keywords, narrow.Count())
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a tiny index, ask where to place a new object and
+// which keywords to give it so it enters the most users' top-k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	maxbrstknn "repro"
+)
+
+func main() {
+	// Index the existing objects (the competition).
+	b := maxbrstknn.NewBuilder()
+	b.AddObject(1.0, 1.0, "sushi")
+	b.AddObject(4.0, 2.0, "noodles")
+	b.AddObject(2.0, 3.0, "coffee", "cake")
+	idx, err := b.Build(maxbrstknn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The users we want to reach.
+	users := []maxbrstknn.UserSpec{
+		{X: 0.5, Y: 0.5, Keywords: []string{"sushi", "seafood"}},
+		{X: 1.5, Y: 1.0, Keywords: []string{"sushi"}},
+		{X: 3.5, Y: 2.0, Keywords: []string{"noodles"}},
+		{X: 2.0, Y: 2.5, Keywords: []string{"coffee"}},
+	}
+
+	// Where could we open, and what could we offer?
+	res, err := idx.MaxBRSTkNN(maxbrstknn.Request{
+		Users:       users,
+		Locations:   [][2]float64{{1.1, 0.9}, {3.8, 1.8}, {2.2, 2.8}},
+		Keywords:    []string{"sushi", "seafood", "noodles", "coffee"},
+		MaxKeywords: 2,
+		K:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("open at location #%d (%.1f, %.1f)\n",
+		res.LocationIndex, res.Location[0], res.Location[1])
+	fmt.Printf("offer: %v\n", res.Keywords)
+	fmt.Printf("becomes a top-1 choice for %d of %d users: %v\n",
+		res.Count(), len(users), res.UserIDs)
+
+	// The per-user top-k machinery is available directly too.
+	top, err := idx.TopK(0.5, 0.5, []string{"sushi"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-2 for a sushi fan at (0.5,0.5): %v\n", top)
+}

@@ -1,0 +1,64 @@
+package maxbrstknn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RunTopL returns up to l ranked selections — the best candidate
+// locations with their best keyword sets, by descending audience size
+// (the spatial-textual analogue of ℓ-MaxBRkNN). Strategy Exhaustive is
+// not supported here; Exact and Approx behave as in Run.
+func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
+	if req.K != s.k {
+		return nil, errKMismatch(req.K, s.k)
+	}
+	q, err := s.buildQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	method := core.KeywordsExact
+	if req.Strategy == Approx {
+		method = core.KeywordsApprox
+	}
+	sels, err := s.engine.SelectTopL(q, method, l)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(sels))
+	for i, sel := range sels {
+		out[i] = s.buildResult(req, sel, core.UserIndexStats{})
+	}
+	return out, nil
+}
+
+// RunMultiple greedily places m objects to maximize the number of
+// distinct users covered (each placement gets its own location and
+// keyword set; covered users are excluded from later rounds).
+func (s *Session) RunMultiple(req Request, m int) ([]Result, error) {
+	if req.K != s.k {
+		return nil, errKMismatch(req.K, s.k)
+	}
+	q, err := s.buildQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	method := core.KeywordsExact
+	if req.Strategy == Approx {
+		method = core.KeywordsApprox
+	}
+	sels, err := s.engine.SelectMultiple(q, method, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(sels))
+	for i, sel := range sels {
+		out[i] = s.buildResult(req, sel, core.UserIndexStats{})
+	}
+	return out, nil
+}
+
+func errKMismatch(got, want int) error {
+	return fmt.Errorf("maxbrstknn: request k=%d differs from session k=%d", got, want)
+}

@@ -1,0 +1,128 @@
+package maxbrstknn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bigFixture(t testing.TB) (*Index, []UserSpec, Request) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	words := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	b := NewBuilder()
+	for i := 0; i < 150; i++ {
+		b.AddObject(rng.Float64()*20, rng.Float64()*20,
+			words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+	}
+	idx, err := b.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserSpec, 40)
+	for i := range users {
+		users[i] = UserSpec{
+			X: rng.Float64() * 20, Y: rng.Float64() * 20,
+			Keywords: []string{words[rng.Intn(len(words))]},
+		}
+	}
+	req := Request{
+		Users:       users,
+		Locations:   [][2]float64{{3, 3}, {10, 10}, {17, 17}, {3, 17}, {17, 3}},
+		Keywords:    words,
+		MaxKeywords: 2,
+		K:           3,
+	}
+	return idx, users, req
+}
+
+func TestRunTopL(t *testing.T) {
+	idx, users, req := bigFixture(t)
+	s, err := idx.NewSession(users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := s.RunTopL(req, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Skip("no reachable users on this instance")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Count() < ranked[i].Count() {
+			t.Fatal("shortlist not descending")
+		}
+	}
+	single, err := s.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Count() != single.Count() {
+		t.Fatalf("shortlist head %d != single run %d", ranked[0].Count(), single.Count())
+	}
+	// k mismatch rejected
+	bad := req
+	bad.K = 9
+	if _, err := s.RunTopL(bad, 2); err == nil {
+		t.Error("k mismatch should be rejected")
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	idx, users, req := bigFixture(t)
+	s, err := idx.NewSession(users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Strategy = Approx
+	placements, err := s.RunMultiple(req, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, p := range placements {
+		for _, uid := range p.UserIDs {
+			if seen[uid] {
+				t.Fatalf("user %d covered by two placements", uid)
+			}
+			seen[uid] = true
+			total++
+		}
+	}
+	if total > len(users) {
+		t.Fatalf("covered %d of %d users", total, len(users))
+	}
+	bad := req
+	bad.K = 9
+	if _, err := s.RunMultiple(bad, 2); err == nil {
+		t.Error("k mismatch should be rejected")
+	}
+}
+
+func TestBM25FacadeOption(t *testing.T) {
+	idx, _, req := bigFixture(t)
+	_ = idx
+	b := NewBuilder()
+	b.AddObject(0, 0, "x", "x", "y")
+	b.AddObject(5, 5, "y")
+	bmIdx, err := b.Build(Options{Measure: BM25Measure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bmIdx.TopK(0.1, 0.1, []string{"x"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ObjectID != 0 {
+		t.Fatalf("BM25 top-1 = %v", got)
+	}
+	req.Users = []UserSpec{{X: 0, Y: 0, Keywords: []string{"x"}}}
+	req.Keywords = []string{"x", "y"}
+	req.Locations = [][2]float64{{0.2, 0.2}}
+	req.MaxKeywords = 1
+	req.K = 1
+	if _, err := bmIdx.MaxBRSTkNN(req); err != nil {
+		t.Fatal(err)
+	}
+}

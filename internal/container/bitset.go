@@ -1,0 +1,155 @@
+package container
+
+import "math/bits"
+
+// Bitset is a dense bitset over term identifiers. The MIUR-tree stores one
+// union and one intersection Bitset per node (Figure 4); the super-user of
+// Section 5.2 is a pair of Bitsets over the whole user set.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns a Bitset able to hold bits [0,n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("container: negative bitset size")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Size returns the capacity in bits.
+func (b *Bitset) Size() int { return b.n }
+
+// Set sets bit i. It panics if i is out of range.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (b *Bitset) Test(i int) bool {
+	b.check(i)
+	return b.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic("container: bitset index out of range")
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// UnionWith sets b to b ∪ other. The bitsets must have equal size.
+func (b *Bitset) UnionWith(other *Bitset) {
+	b.sameSize(other)
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// IntersectWith sets b to b ∩ other. The bitsets must have equal size.
+func (b *Bitset) IntersectWith(other *Bitset) {
+	b.sameSize(other)
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// IntersectsWith reports whether b ∩ other is non-empty. The paper's text
+// relevance predicate "o.d contains at least one term t ∈ u.d" is this test.
+func (b *Bitset) IntersectsWith(other *Bitset) bool {
+	b.sameSize(other)
+	for i := range b.words {
+		if b.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountIntersection returns |b ∩ other| without materializing it.
+func (b *Bitset) CountIntersection(other *Bitset) int {
+	b.sameSize(other)
+	total := 0
+	for i := range b.words {
+		total += bits.OnesCount64(b.words[i] & other.words[i])
+	}
+	return total
+}
+
+func (b *Bitset) sameSize(other *Bitset) {
+	if b.n != other.n {
+		panic("container: bitset size mismatch")
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &^= 1 << uint(bit)
+		}
+	}
+}
+
+// Ones returns the indices of all set bits in ascending order.
+func (b *Bitset) Ones() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// FillAll sets every bit in [0,n).
+func (b *Bitset) FillAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// mask tail bits beyond n
+	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -1,0 +1,163 @@
+package container
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetTestClear(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if b.Test(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+func TestBitsetOutOfRangePanics(t *testing.T) {
+	b := NewBitset(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) should panic", i)
+				}
+			}()
+			b.Set(i)
+		}()
+	}
+}
+
+func TestBitsetUnionIntersect(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	a.Set(99)
+	b.Set(50)
+	b.Set(60)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Ones(); len(got) != 4 {
+		t.Errorf("union ones = %v, want 4 bits", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	ones := i.Ones()
+	if len(ones) != 1 || ones[0] != 50 {
+		t.Errorf("intersection = %v, want [50]", ones)
+	}
+
+	if !a.IntersectsWith(b) {
+		t.Error("a and b share bit 50")
+	}
+	if got := a.CountIntersection(b); got != 1 {
+		t.Errorf("CountIntersection = %d, want 1", got)
+	}
+
+	c := NewBitset(100)
+	c.Set(2)
+	if a.IntersectsWith(c) {
+		t.Error("a and c are disjoint")
+	}
+}
+
+func TestBitsetSizeMismatchPanics(t *testing.T) {
+	a, b := NewBitset(10), NewBitset(20)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestBitsetForEachEarlyStop(t *testing.T) {
+	b := NewBitset(200)
+	for i := 0; i < 200; i += 10 {
+		b.Set(i)
+	}
+	var seen []int
+	b.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 10 || seen[2] != 20 {
+		t.Errorf("early stop seen = %v", seen)
+	}
+}
+
+func TestBitsetFillAllRespectsSize(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		b := NewBitset(n)
+		b.FillAll()
+		if got := b.Count(); got != n {
+			t.Errorf("FillAll size %d: Count = %d", n, got)
+		}
+	}
+}
+
+func TestBitsetResetAndAny(t *testing.T) {
+	b := NewBitset(70)
+	if b.Any() {
+		t.Error("fresh bitset Any = true")
+	}
+	b.Set(69)
+	if !b.Any() {
+		t.Error("Any = false after Set")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: |a ∪ b| + |a ∩ b| == |a| + |b| (inclusion–exclusion).
+func TestBitsetInclusionExclusion(t *testing.T) {
+	f := func(setsA, setsB []uint16) bool {
+		const n = 1 << 16
+		a, b := NewBitset(n), NewBitset(n)
+		for _, i := range setsA {
+			a.Set(int(i))
+		}
+		for _, i := range setsB {
+			b.Set(int(i))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		inter := a.CountIntersection(b)
+		return u.Count()+inter == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetCloneIndependence(t *testing.T) {
+	a := NewBitset(64)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(5)
+	if a.Test(5) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Test(3) {
+		t.Error("clone missing original bit")
+	}
+}

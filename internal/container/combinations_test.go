@@ -1,0 +1,94 @@
+package container
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCombinationsEnumeratesAll(t *testing.T) {
+	items := []int{1, 2, 3, 4}
+	var got [][]int
+	Combinations(items, 2, func(c []int) bool {
+		cp := append([]int(nil), c...)
+		got = append(got, cp)
+		return true
+	})
+	want := [][]int{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combos, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Errorf("combo %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCombinationsEdgeCases(t *testing.T) {
+	count := 0
+	Combinations([]int{1, 2}, 0, func(c []int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("k=0 should yield exactly the empty combo, got %d", count)
+	}
+	count = 0
+	Combinations([]int{1, 2}, 3, func(c []int) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("k>n should yield nothing, got %d", count)
+	}
+	count = 0
+	Combinations([]int{1, 2, 3}, 3, func(c []int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("k=n should yield one combo, got %d", count)
+	}
+	count = 0
+	Combinations([]int(nil), 1, func(c []int) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("empty items should yield nothing, got %d", count)
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	count := 0
+	Combinations([]int{1, 2, 3, 4, 5}, 2, func(c []int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after 3, got %d", count)
+	}
+}
+
+func TestCombinationsCountMatchesEnumeration(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		items := make([]int, n)
+		for k := 0; k <= n; k++ {
+			count := int64(0)
+			Combinations(items, k, func([]int) bool { count++; return true })
+			if want := CombinationCount(n, k); count != want {
+				t.Errorf("C(%d,%d): enumerated %d, formula %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestCombinationCountValues(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {10, 3, 120}, {40, 8, 76904685}, {0, 0, 1},
+		{5, 6, 0}, {5, -1, 0}, {52, 26, 495918532948104},
+	}
+	for _, tt := range tests {
+		if got := CombinationCount(tt.n, tt.k); got != tt.want {
+			t.Errorf("C(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestCombinationCountSaturates(t *testing.T) {
+	got := CombinationCount(1000, 500)
+	if got <= 0 {
+		t.Errorf("saturated count should stay positive, got %d", got)
+	}
+}

@@ -1,0 +1,182 @@
+package container
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxHeapOrder(t *testing.T) {
+	h := NewMaxHeap[string]()
+	h.Push("b", 2)
+	h.Push("c", 3)
+	h.Push("a", 1)
+	var got []string
+	for h.Len() > 0 {
+		v, _ := h.Pop()
+		got = append(got, v)
+	}
+	want := []string{"c", "b", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinHeapOrder(t *testing.T) {
+	h := NewMinHeap[int]()
+	keys := []float64{5, 1, 4, 2, 3}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		_, k := h.Pop()
+		if k < prev {
+			t.Fatalf("min-heap popped %v after %v", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := NewMaxHeap[int]()
+	h.Push(7, 0.5)
+	h.Push(9, 0.9)
+	v, k := h.Peek()
+	if v != 9 || k != 0.9 {
+		t.Errorf("Peek = (%v,%v), want (9,0.9)", v, k)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Peek must not remove; len = %d", h.Len())
+	}
+}
+
+func TestHeapClearAndItems(t *testing.T) {
+	h := NewMinHeap[int]()
+	for i := 0; i < 5; i++ {
+		h.Push(i, float64(i))
+	}
+	if got := len(h.Items()); got != 5 {
+		t.Errorf("Items len = %d, want 5", got)
+	}
+	h.Clear()
+	if h.Len() != 0 {
+		t.Errorf("after Clear len = %d, want 0", h.Len())
+	}
+}
+
+// Property: popping everything from a max-heap yields keys in non-increasing
+// order, regardless of insertion order.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(keys []float64) bool {
+		h := NewMaxHeap[int]()
+		for i, k := range keys {
+			h.Push(i, k)
+		}
+		prev := 1.7976931348623157e308
+		for h.Len() > 0 {
+			_, k := h.Pop()
+			if k > prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK[string](2)
+	if tk.Threshold() != negInf {
+		t.Error("empty TopK threshold should be -inf")
+	}
+	tk.Offer("a", 0.1)
+	tk.Offer("b", 0.5)
+	if !tk.Full() {
+		t.Fatal("should be full at k=2")
+	}
+	if got := tk.Threshold(); got != 0.1 {
+		t.Errorf("threshold = %v, want 0.1", got)
+	}
+	ev, evScore, was := tk.Offer("c", 0.3)
+	if !was || ev != "a" || evScore != 0.1 {
+		t.Errorf("Offer eviction = (%v,%v,%v), want (a,0.1,true)", ev, evScore, was)
+	}
+	if got := tk.Threshold(); got != 0.3 {
+		t.Errorf("threshold = %v, want 0.3", got)
+	}
+	// equal score keeps the incumbent
+	_, _, was = tk.Offer("d", 0.3)
+	if was {
+		t.Error("equal score must not displace the incumbent")
+	}
+}
+
+func TestTopKPopAscending(t *testing.T) {
+	tk := NewTopK[int](3)
+	scores := []float64{0.9, 0.1, 0.5, 0.7, 0.3}
+	for i, s := range scores {
+		tk.Offer(i, s)
+	}
+	items := tk.PopAscending()
+	// best three scores are 0.9 (idx 0), 0.7 (idx 3), 0.5 (idx 2); ascending order
+	want := []int{2, 3, 0}
+	if len(items) != 3 {
+		t.Fatalf("len = %d, want 3", len(items))
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("PopAscending = %v, want %v", items, want)
+		}
+	}
+}
+
+func TestTopKPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTopK(0) should panic")
+		}
+	}()
+	NewTopK[int](0)
+}
+
+// Property: TopK retains exactly the k largest scores.
+func TestTopKRetainsLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		k := 1 + rng.Intn(10)
+		scores := make([]float64, n)
+		tk := NewTopK[int](k)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			tk.Offer(i, scores[i])
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		wantCount := k
+		if n < k {
+			wantCount = n
+		}
+		got := tk.Items()
+		if len(got) != wantCount {
+			t.Fatalf("retained %d, want %d", len(got), wantCount)
+		}
+		gotScores := make([]float64, len(got))
+		for i, idx := range got {
+			gotScores[i] = scores[idx]
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(gotScores)))
+		for i := 0; i < wantCount; i++ {
+			if gotScores[i] != sorted[i] {
+				t.Fatalf("trial %d: retained scores %v, want top of %v", trial, gotScores, sorted[:wantCount])
+			}
+		}
+	}
+}

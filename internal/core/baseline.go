@@ -1,0 +1,46 @@
+package core
+
+import (
+	"repro/internal/container"
+	"repro/internal/vocab"
+)
+
+// Baseline answers the query with the exhaustive method of Section 4:
+// every candidate location is paired with every combination of exactly ws
+// candidate keywords, and the relevance of each tuple is evaluated against
+// every user whose keywords intersect the tuple's document. The engine
+// must be prepared (either way) for q.K first.
+//
+// The combinatorial cost — |L| · C(|W|, ws) tuples — is the scalability
+// wall the paper's Figure 11 exposes.
+func (e *Engine) Baseline(q Query) (Selection, error) {
+	if err := e.ensurePrepared(q); err != nil {
+		return Selection{}, err
+	}
+	best := Selection{LocIndex: -1}
+	all := e.allUserIndexes()
+
+	for li := range q.Locations {
+		container.Combinations(q.Keywords, q.WS, func(combo []vocab.TermID) bool {
+			add := append([]vocab.TermID(nil), combo...)
+			doc := q.OxDoc.MergeTerms(add)
+			var users []int32
+			for _, ui := range all {
+				if e.isBRSTkNN(q, li, doc, ui) {
+					users = append(users, e.Users[ui].ID)
+				}
+			}
+			if len(users) > best.Count() {
+				best = Selection{
+					LocIndex: li,
+					Location: q.Locations[li],
+					Keywords: add,
+					Users:    users,
+				}
+			}
+			return true
+		})
+	}
+	best.normalize()
+	return best, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// selectKeywordsExact implements Algorithm 4: enumerate size-ws
+// combinations of the pruned candidate keywords and count each tuple's
+// BRSTkNN exactly, with the user- and keyword-pruning of Section 6.2.2.
+func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.CandidateSet) Selection {
+	li := lc.li
+
+	// Keyword pruning: only candidates occurring in at least one
+	// qualifying user's description can change any user's relevance.
+	cand := e.keywordsInUsers(q, lc.users, w)
+
+	// Users already qualifying on ox's bare description (lower bound
+	// LBL(ℓ,u) = exact zero-keyword STS ≥ RSk(u)) count for every
+	// combination under addition-monotone models; under LM an added
+	// keyword can dilute their score below RSk(u), so they stay contested
+	// (tupleUsers re-scores them per combination).
+	var alwaysIn []int32
+	var contested []contestedUser
+	monotone := e.Scorer.Model.AdditionMonotone()
+	var bare []int32
+	for _, ui := range lc.users {
+		qualified := e.isBRSTkNN(q, li, q.OxDoc, ui)
+		if qualified {
+			bare = append(bare, e.Users[ui].ID)
+			if monotone {
+				alwaysIn = append(alwaysIn, e.Users[ui].ID)
+				continue
+			}
+		}
+		contested = append(contested, contestedUser{ui: ui, bareQualified: qualified})
+	}
+
+	best := Selection{LocIndex: li, Location: q.Locations[li], Users: bare}
+
+	// Definition 1 admits any |W'| ≤ ws. Under TF-IDF and KO larger sets
+	// never hurt, but under the Language Model an added keyword lengthens
+	// ox.d and can dilute other term weights, so smaller sets may win;
+	// enumerate every size up to ws (the size-ws stratum dominates the
+	// cost). When the pruned candidate set already fits within ws this
+	// degenerates to the paper's early-termination case.
+	maxSize := q.WS
+	if len(cand) < maxSize {
+		maxSize = len(cand)
+	}
+	for size := 1; size <= maxSize; size++ {
+		container.Combinations(cand, size, func(combo []vocab.TermID) bool {
+			users := e.tupleUsers(q, li, combo, contested, alwaysIn)
+			if len(users) > best.Count() {
+				best = Selection{
+					LocIndex: li,
+					Location: q.Locations[li],
+					Keywords: append([]vocab.TermID(nil), combo...),
+					Users:    users,
+				}
+			}
+			return true
+		})
+	}
+	return best
+}
+
+// contestedUser is a qualifying-list user whose membership depends on the
+// chosen keyword combination. bareQualified records whether ox's bare
+// description already clears the user's threshold (relevant under LM,
+// where additions may push them back below it).
+type contestedUser struct {
+	ui            int
+	bareQualified bool
+}
+
+// tupleUsers counts the BRSTkNN of 〈location li, ox.d ∪ combo〉: the
+// always-qualifying users plus every contested user whose exact score with
+// the combination clears their threshold. Contested users sharing no
+// keyword with the combination are skipped unless they qualified on the
+// bare description — additions can only lower their score (strictly, under
+// LM) or leave it unchanged, never raise it.
+func (e *Engine) tupleUsers(q Query, li int, combo []vocab.TermID, contested []contestedUser, alwaysIn []int32) []int32 {
+	users := append([]int32(nil), alwaysIn...)
+	doc := q.OxDoc.MergeTerms(combo)
+	for _, c := range contested {
+		if !c.bareQualified && !overlapsAny(e.Users[c.ui].Doc, combo) {
+			continue // added keywords cannot raise this user's score
+		}
+		if e.isBRSTkNN(q, li, doc, c.ui) {
+			users = append(users, e.Users[c.ui].ID)
+		}
+	}
+	return users
+}
+
+func overlapsAny(d vocab.Doc, terms []vocab.TermID) bool {
+	for _, t := range terms {
+		if d.Has(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// keywordsInUsers returns W ∩ (∪ u.d over the given users), ascending.
+func (e *Engine) keywordsInUsers(q Query, users []int, w textrel.CandidateSet) []vocab.TermID {
+	seen := make(map[vocab.TermID]bool)
+	for _, ui := range users {
+		for _, t := range e.Users[ui].Doc.Terms() {
+			if w[t] {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]vocab.TermID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// selectKeywordsGreedy implements the (1−1/e)-approximate keyword
+// selection of Section 6.2.1: build, for every candidate keyword, the
+// optimistic user list LUW_w (via the HW_{w,u} top-weighted completion),
+// run greedy maximum coverage, then count the chosen set exactly.
+func (e *Engine) selectKeywordsGreedy(q Query, lc locCandidate, w textrel.CandidateSet) Selection {
+	li := lc.li
+
+	// Preprocessing: LUW_w per keyword. A user joins LUW_w when w's
+	// top-weighted completion HW_{w,u} qualifies them (the paper's test),
+	// or when w alone does — the singleton test matters under LM, where
+	// the extra completion keywords lengthen ox.d and can dilute the very
+	// score the completion was meant to maximize.
+	luw := make(map[vocab.TermID][]int)
+	for _, ui := range lc.users {
+		u := &e.Users[ui]
+		for _, t := range u.Doc.Terms() {
+			if !w[t] {
+				continue
+			}
+			hw := e.Scorer.TopWeightedCandidates(q.OxDoc, u.Doc, w, q.WS, t, true)
+			qualifies := e.sts(q, li, q.OxDoc.MergeTerms(hw), ui) >= e.rsk[ui]
+			if !qualifies && len(hw) > 1 {
+				qualifies = e.sts(q, li, q.OxDoc.MergeTerms([]vocab.TermID{t}), ui) >= e.rsk[ui]
+			}
+			if qualifies {
+				luw[t] = append(luw[t], ui)
+			}
+		}
+	}
+
+	// Greedy maximum coverage over the LUW sets.
+	covered := make(map[int]bool)
+	var chosen []vocab.TermID
+	for len(chosen) < q.WS && len(luw) > 0 {
+		var bestT vocab.TermID
+		bestGain := -1
+		for t, users := range luw {
+			gain := 0
+			for _, ui := range users {
+				if !covered[ui] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && t < bestT) {
+				bestT, bestGain = t, gain
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		for _, ui := range luw[bestT] {
+			covered[ui] = true
+		}
+		chosen = append(chosen, bestT)
+		delete(luw, bestT)
+	}
+
+	// The LUW lists are optimistic; count exactly. Under LM a prefix of
+	// the greedy choice can beat the full set (later picks dilute earlier
+	// ones), so evaluate every prefix — ws exact counts, still far from
+	// the exact method's C(|W|, ws).
+	sel := Selection{LocIndex: li, Location: q.Locations[li]}
+	sel.Users = e.countBRSTkNN(q, li, nil, lc.users) // zero-keyword floor
+	for end := 1; end <= len(chosen); end++ {
+		prefix := chosen[:end]
+		users := e.countBRSTkNN(q, li, prefix, lc.users)
+		if len(users) > len(sel.Users) {
+			sel.Keywords = append([]vocab.TermID(nil), prefix...)
+			sel.Users = users
+		}
+	}
+	return sel
+}

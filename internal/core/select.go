@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/container"
+	"repro/internal/geo"
+)
+
+// locCandidate is one candidate location with its qualifying-user list
+// LU_ℓ (Algorithm 3): the users whose per-user upper bound admits them as
+// potential BRSTkNN when ox is placed at the location.
+type locCandidate struct {
+	li    int
+	users []int // indexes into e.Users
+}
+
+// Select answers the query with the pruned search of Section 6:
+// Algorithm 3 orders candidate locations by |LU_ℓ| (best-first), terminates
+// early when no remaining location can beat the incumbent, and delegates
+// keyword selection to the exact (Algorithm 4) or greedy (Section 6.2.1)
+// method. The engine must be prepared for q.K first.
+func (e *Engine) Select(q Query, method KeywordMethod) (Selection, error) {
+	return e.selectOrdered(q, method, true)
+}
+
+// SelectNoBestFirst is the ablation variant of Select that processes
+// candidate locations in their given order without the |LU_ℓ| best-first
+// ordering or its early termination — isolating the value of Algorithm 3's
+// priority queue (DESIGN.md §6).
+func (e *Engine) SelectNoBestFirst(q Query, method KeywordMethod) (Selection, error) {
+	return e.selectOrdered(q, method, false)
+}
+
+func (e *Engine) selectOrdered(q Query, method KeywordMethod, bestFirst bool) (Selection, error) {
+	if err := e.ensurePrepared(q); err != nil {
+		return Selection{}, err
+	}
+	w := textrelCandidateSet(q)
+
+	// Build LU_ℓ for every location surviving the super-user pruning
+	// (UBL(ℓ, us) uses the point-to-MBR minimum distance spatially and
+	// Lemma 3's additive bound over the keyword union textually).
+	ql := e.buildLocationQueue(q, w)
+	if !bestFirst {
+		// Ablation: re-key by the given location order.
+		flat := container.NewMaxHeap[locCandidate]()
+		for ql.Len() > 0 {
+			lc, _ := ql.Pop()
+			flat.Push(lc, float64(-lc.li))
+		}
+		ql = flat
+	}
+
+	best := Selection{LocIndex: -1}
+	for ql.Len() > 0 {
+		lc, _ := ql.Pop()
+		// Early termination: |LU_ℓ| bounds the achievable count from above.
+		if bestFirst && len(lc.users) < best.Count() {
+			break
+		}
+		if !bestFirst && len(lc.users) < best.Count() {
+			continue // still sound: |LU_ℓ| caps this location's count
+		}
+
+		// Group-level lower-bound shortcut (lines 3.11–3.13): when even the
+		// intersection text of the bare ox.d clears the group threshold, no
+		// keyword is needed. We confirm per user with the exact zero-keyword
+		// STS (DESIGN.md §4 explains why the paper's unverified version can
+		// overcount).
+		lbSuper := e.Scorer.Alpha*e.Scorer.SSMin(geo.RectFromPoint(q.Locations[lc.li]), e.su.MBR) +
+			(1-e.Scorer.Alpha)*e.su.LBText(e.intTextSum(q))
+		if lbSuper >= e.rskSuper {
+			users := e.countBRSTkNN(q, lc.li, nil, lc.users)
+			if len(users) > best.Count() {
+				best = Selection{LocIndex: lc.li, Location: q.Locations[lc.li], Users: users}
+			}
+			// The shortcut is conclusive only when the verified count
+			// saturates LU_ℓ; otherwise keywords may still win users.
+			if len(users) == len(lc.users) {
+				continue
+			}
+		}
+
+		// Full keyword selection for this location.
+		var sel Selection
+		if method == KeywordsApprox {
+			sel = e.selectKeywordsGreedy(q, lc, w)
+		} else {
+			sel = e.selectKeywordsExact(q, lc, w)
+		}
+		if sel.Count() > best.Count() {
+			best = sel
+		}
+	}
+	best.normalize()
+	return best, nil
+}
+
+// intTextSum returns Σ_{t ∈ us.Int} Weight(ox.d, t): the unnormalized
+// textual lower bound of LBL(ℓ, us) using ox's existing description.
+func (e *Engine) intTextSum(q Query) float64 {
+	total := 0.0
+	for _, t := range e.su.Int {
+		total += e.Scorer.Model.Weight(q.OxDoc, t)
+	}
+	return total
+}

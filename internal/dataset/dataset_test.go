@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+func tinyDataset(t *testing.T) (*Dataset, *vocab.Vocabulary) {
+	t.Helper()
+	v := vocab.New()
+	sushi := v.Add("sushi")
+	seafood := v.Add("seafood")
+	noodles := v.Add("noodles")
+	objects := []Object{
+		{ID: 0, Loc: geo.Point{X: 1, Y: 1}, Doc: vocab.DocFromTerms([]vocab.TermID{sushi})},
+		{ID: 1, Loc: geo.Point{X: 4, Y: 5}, Doc: vocab.DocFromTerms([]vocab.TermID{noodles})},
+		{ID: 2, Loc: geo.Point{X: 2, Y: 3}, Doc: vocab.DocFromTerms([]vocab.TermID{sushi, seafood, sushi})},
+	}
+	return Build(objects, v), v
+}
+
+func TestBuildStats(t *testing.T) {
+	ds, v := tinyDataset(t)
+	sushi, _ := v.Lookup("sushi")
+	seafood, _ := v.Lookup("seafood")
+	noodles, _ := v.Lookup("noodles")
+
+	if got := ds.Stats.CollectionFreq[sushi]; got != 3 {
+		t.Errorf("cf(sushi) = %d, want 3", got)
+	}
+	if got := ds.Stats.DocFreq[sushi]; got != 2 {
+		t.Errorf("df(sushi) = %d, want 2", got)
+	}
+	if got := ds.Stats.CollectionFreq[seafood]; got != 1 {
+		t.Errorf("cf(seafood) = %d, want 1", got)
+	}
+	if got := ds.Stats.DocFreq[noodles]; got != 1 {
+		t.Errorf("df(noodles) = %d, want 1", got)
+	}
+	if ds.Stats.TotalTerms != 5 {
+		t.Errorf("|C| = %d, want 5", ds.Stats.TotalTerms)
+	}
+	if ds.Stats.NumDocs != 3 {
+		t.Errorf("NumDocs = %d, want 3", ds.Stats.NumDocs)
+	}
+}
+
+func TestSpaceAndDMax(t *testing.T) {
+	ds, _ := tinyDataset(t)
+	want := geo.Rect{Min: geo.Point{X: 1, Y: 1}, Max: geo.Point{X: 4, Y: 5}}
+	if ds.Space != want {
+		t.Errorf("Space = %v, want %v", ds.Space, want)
+	}
+	if got := ds.DMax(); got != 5.0 {
+		t.Errorf("DMax = %v, want 5 (3-4-5 diagonal)", got)
+	}
+	// extending with a farther rect grows dmax
+	far := geo.RectFromPoint(geo.Point{X: 100, Y: 1})
+	if got := ds.DMax(far); got <= 5.0 {
+		t.Errorf("DMax with extension = %v, should exceed 5", got)
+	}
+}
+
+func TestDMaxDegenerate(t *testing.T) {
+	v := vocab.New()
+	a := v.Add("a")
+	ds := Build([]Object{{ID: 0, Loc: geo.Point{X: 3, Y: 3}, Doc: vocab.DocFromTerms([]vocab.TermID{a})}}, v)
+	if got := ds.DMax(); got != 1 {
+		t.Errorf("single-point DMax = %v, want fallback 1", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ds, _ := tinyDataset(t)
+	p := ds.Describe()
+	if p.TotalObjects != 3 || p.TotalUniqueTerms != 3 {
+		t.Errorf("Describe = %+v", p)
+	}
+	// unique terms per object: 1, 1, 2 → avg 4/3
+	if p.AvgUniquePerObj < 1.33 || p.AvgUniquePerObj > 1.34 {
+		t.Errorf("AvgUniquePerObj = %v, want ~1.333", p.AvgUniquePerObj)
+	}
+	if p.TotalTermsInData != 5 {
+		t.Errorf("TotalTermsInData = %d, want 5", p.TotalTermsInData)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestUsersMBR(t *testing.T) {
+	users := []User{
+		{Loc: geo.Point{X: 0, Y: 2}},
+		{Loc: geo.Point{X: 5, Y: 1}},
+	}
+	got := UsersMBR(users)
+	want := geo.Rect{Min: geo.Point{X: 0, Y: 1}, Max: geo.Point{X: 5, Y: 2}}
+	if got != want {
+		t.Errorf("UsersMBR = %v, want %v", got, want)
+	}
+	if !UsersMBR(nil).IsEmpty() {
+		t.Error("MBR of no users should be empty")
+	}
+}

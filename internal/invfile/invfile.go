@@ -1,0 +1,168 @@
+// Package invfile implements the per-node inverted files of the IR-tree
+// family (Section 5.1). A posting associates a child entry of a node with
+// the maximum and minimum weight of a term among the documents in that
+// child's subtree — the 〈d, maxw_{d,t}, minw_{d,t}〉 tuples of the MIR-tree.
+// For the plain IR-tree the minimum weights are simply ignored. Files are
+// serialized with varint encoding and stored through storage.Pager, so the
+// simulated I/O charge (blocks = ⌈bytes/4096⌉) reflects real list sizes.
+package invfile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/vocab"
+)
+
+// Posting links a term to one child entry of a node.
+type Posting struct {
+	// Entry is the index of the child entry within its node.
+	Entry int32
+	// MaxW is the maximum weight of the term over the documents in the
+	// entry's subtree (for leaf entries: the document's weight itself).
+	MaxW float64
+	// MinW is the minimum weight over documents in the subtree, or zero
+	// when the term is absent from the subtree intersection (Section 5.1).
+	MinW float64
+}
+
+// File is the inverted file of one tree node: a posting list per term.
+type File struct {
+	lists map[vocab.TermID][]Posting
+}
+
+// New returns an empty inverted file.
+func New() *File {
+	return &File{lists: make(map[vocab.TermID][]Posting)}
+}
+
+// Add appends a posting for term t. Postings for one term should be added
+// in ascending entry order (Encode sorts defensively).
+func (f *File) Add(t vocab.TermID, p Posting) {
+	f.lists[t] = append(f.lists[t], p)
+}
+
+// Postings returns the posting list for t (nil when absent). The slice is
+// owned by the file; callers must not modify it.
+func (f *File) Postings(t vocab.TermID) []Posting { return f.lists[t] }
+
+// NumTerms returns the number of distinct terms in the file.
+func (f *File) NumTerms() int { return len(f.lists) }
+
+// Terms returns the file's terms in ascending order.
+func (f *File) Terms() []vocab.TermID {
+	out := make([]vocab.TermID, 0, len(f.lists))
+	for t := range f.lists {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEach visits every (term, postings) pair in ascending term order.
+func (f *File) ForEach(fn func(t vocab.TermID, ps []Posting)) {
+	for _, t := range f.Terms() {
+		fn(t, f.lists[t])
+	}
+}
+
+// Serialization versions: the IR-tree stores only maximum weights (one
+// float per posting, as in Cong et al.); the MIR-tree stores both bounds.
+// The version byte makes the stored sizes — and therefore the simulated
+// block-I/O charges — faithful to each index.
+const (
+	versionMaxOnly = 1
+	versionMinMax  = 2
+)
+
+// Encode serializes the file: version, term count, then per term
+// (ascending) the term id, posting count, and per posting the entry
+// (delta-coded) and weight(s). With includeMin=false the minimum weights
+// are omitted (IR-tree layout) and decode as zero.
+func (f *File) Encode(includeMin bool) []byte {
+	version := uint64(versionMaxOnly)
+	if includeMin {
+		version = versionMinMax
+	}
+	buf := storage.AppendUvarint(nil, version)
+	buf = storage.AppendUvarint(buf, uint64(len(f.lists)))
+	for _, t := range f.Terms() {
+		ps := append([]Posting(nil), f.lists[t]...)
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Entry < ps[j].Entry })
+		buf = storage.AppendUvarint(buf, uint64(t))
+		buf = storage.AppendUvarint(buf, uint64(len(ps)))
+		prev := int32(0)
+		for _, p := range ps {
+			buf = storage.AppendUvarint(buf, uint64(p.Entry-prev))
+			prev = p.Entry
+			buf = storage.AppendFloat64(buf, p.MaxW)
+			if includeMin {
+				buf = storage.AppendFloat64(buf, p.MinW)
+			}
+		}
+	}
+	return buf
+}
+
+// Decode parses a file serialized by Encode.
+func Decode(buf []byte) (*File, error) {
+	d := storage.NewDecoder(buf)
+	version := d.Uvarint()
+	if d.Err() == nil && version != versionMaxOnly && version != versionMinMax {
+		return nil, fmt.Errorf("invfile: unknown version %d", version)
+	}
+	n := d.Uvarint()
+	f := New()
+	for i := uint64(0); i < n; i++ {
+		t := vocab.TermID(d.Uvarint())
+		cnt := d.Uvarint()
+		prev := int32(0)
+		for j := uint64(0); j < cnt; j++ {
+			entry := prev + int32(d.Uvarint())
+			prev = entry
+			maxw := d.Float64()
+			minw := 0.0
+			if version == versionMinMax {
+				minw = d.Float64()
+			}
+			f.Add(t, Posting{Entry: entry, MaxW: maxw, MinW: minw})
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("invfile: %w", err)
+	}
+	return f, nil
+}
+
+// Store persists inverted files through a pager and charges simulated I/O
+// on load.
+type Store struct {
+	pager *storage.Pager
+	io    *storage.IOCounter
+}
+
+// NewStore returns a store writing to pager and charging loads to io.
+func NewStore(pager *storage.Pager, io *storage.IOCounter) *Store {
+	return &Store{pager: pager, io: io}
+}
+
+// Put serializes f (with or without minimum weights) and returns its page
+// address.
+func (s *Store) Put(f *File, includeMin bool) storage.PageID {
+	return s.pager.WriteRecord(f.Encode(includeMin))
+}
+
+// Load reads the file at id, charging ⌈bytes/PageSize⌉ simulated I/Os
+// (the Section 8 rule for inverted-file loads).
+func (s *Store) Load(id storage.PageID) (*File, error) {
+	s.io.InvFileLoad(s.pager.RecordPages(id))
+	buf, err := s.pager.ReadRecord(id)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// Blocks returns the block count of the stored file at id without loading.
+func (s *Store) Blocks(id storage.PageID) int { return s.pager.RecordPages(id) }

@@ -1,0 +1,115 @@
+package irtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/textrel"
+)
+
+func TestWarmCacheReducesIO(t *testing.T) {
+	ds := dataset.GenerateFlickr(dataset.FlickrConfig{
+		NumObjects: 800, VocabSize: 300, MeanTags: 5, NumCluster: 8, Zipf: 1.2, Seed: 5,
+	})
+	scorer := textrel.NewScorer(ds, textrel.LM, 0.5)
+	warm := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16, CacheCapacity: 4096})
+	cold := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16})
+
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 30, UL: 3, UW: 15, Area: 20, Seed: 31})
+
+	runAll := func(tree *Tree) int64 {
+		tree.IO().Reset()
+		for ui := range us.Users {
+			if _, _, err := tree.TopK(scorer, ViewOf(&us.Users[ui], scorer), 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tree.IO().Total()
+	}
+
+	coldIO := runAll(cold)
+	warmIO := runAll(warm)
+	if warmIO >= coldIO {
+		t.Errorf("warm cache I/O %d should be below cold %d", warmIO, coldIO)
+	}
+	hits, misses := warm.CacheStats()
+	if hits == 0 {
+		t.Error("warm cache recorded no hits across repeated user queries")
+	}
+	if misses == 0 {
+		t.Error("first reads must miss")
+	}
+	if h, m := cold.CacheStats(); h != 0 || m != 0 {
+		t.Error("cold tree should have no cache stats")
+	}
+}
+
+// Results must be identical warm or cold — the cache only affects
+// accounting, never answers.
+func TestWarmCacheSameResults(t *testing.T) {
+	ds := dataset.GenerateFlickr(dataset.FlickrConfig{
+		NumObjects: 600, VocabSize: 250, MeanTags: 5, NumCluster: 6, Zipf: 1.2, Seed: 9,
+	})
+	scorer := textrel.NewScorer(ds, textrel.KO, 0.5)
+	warm := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16, CacheCapacity: 1024})
+	cold := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16})
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 20, UL: 3, UW: 12, Area: 20, Seed: 33})
+	for ui := range us.Users {
+		view := ViewOf(&us.Users[ui], scorer)
+		a, rskA, err := warm.TopK(scorer, view, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, rskB, err := cold.TopK(scorer, view, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rskA-rskB) > 1e-12 || len(a) != len(b) {
+			t.Fatalf("user %d: warm/cold disagree", ui)
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+				t.Fatalf("user %d rank %d: %v vs %v", ui, i, a[i].Score, b[i].Score)
+			}
+		}
+	}
+}
+
+func TestResetCacheColdBoundary(t *testing.T) {
+	ds := dataset.GenerateFlickr(dataset.FlickrConfig{
+		NumObjects: 400, VocabSize: 200, MeanTags: 5, NumCluster: 4, Zipf: 1.2, Seed: 11,
+	})
+	scorer := textrel.NewScorer(ds, textrel.LM, 0.5)
+	tree := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16, CacheCapacity: 1024})
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 5, UL: 2, UW: 8, Area: 20, Seed: 35})
+	view := ViewOf(&us.Users[0], scorer)
+
+	tree.IO().Reset()
+	if _, _, err := tree.TopK(scorer, view, 3); err != nil {
+		t.Fatal(err)
+	}
+	first := tree.IO().Total()
+
+	// warm repeat: cheaper
+	tree.IO().Reset()
+	if _, _, err := tree.TopK(scorer, view, 3); err != nil {
+		t.Fatal(err)
+	}
+	if repeat := tree.IO().Total(); repeat >= first {
+		t.Errorf("repeat with warm cache %d should be < first %d", repeat, first)
+	}
+
+	// after ResetCache: cold again
+	tree.ResetCache()
+	tree.IO().Reset()
+	if _, _, err := tree.TopK(scorer, view, 3); err != nil {
+		t.Fatal(err)
+	}
+	if again := tree.IO().Total(); again != first {
+		t.Errorf("post-reset I/O %d, want %d (cold)", again, first)
+	}
+	// ResetCache on a cold tree is a safe no-op
+	cold := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 16})
+	cold.ResetCache()
+}

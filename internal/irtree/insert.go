@@ -1,0 +1,343 @@
+package irtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/invfile"
+	"repro/internal/storage"
+	"repro/internal/vocab"
+)
+
+// Insert adds one object to the disk-resident index, implementing the
+// incremental maintenance the paper's Section 5.1 cost analysis promises
+// ("the update costs of the MIR-tree are the same as the IR-tree"): a
+// choose-leaf descent, posting updates along the path, and node splits on
+// overflow — all against the serialized representation (modified nodes are
+// re-encoded and appended; the pager is append-only, so superseded records
+// remain as garbage until a rebuild, as in any log-structured store).
+//
+// Term weights are computed under the corpus statistics frozen at Build
+// time (the standard IR practice: collection statistics refresh on
+// rebuild, not per document). The object's ID must equal the current
+// object count; the object is appended to the tree's dataset.
+func (t *Tree) Insert(o dataset.Object) error {
+	if int(o.ID) != len(t.ds.Objects) {
+		return fmt.Errorf("irtree: object ID %d must equal the object count %d", o.ID, len(t.ds.Objects))
+	}
+	t.ds.Objects = append(t.ds.Objects, o)
+
+	if t.rootID < 0 {
+		// First object: a single leaf root.
+		t.rootID = t.allocNode()
+		t.height = 1
+		inv := invfile.New()
+		o.Doc.ForEach(func(tm vocab.TermID, _ int32) {
+			w := t.model.Weight(o.Doc, tm)
+			inv.Add(tm, invfile.Posting{Entry: 0, MaxW: w, MinW: w})
+		})
+		t.writeNodeData(t.rootID, true, []NodeEntry{{
+			Rect: geo.RectFromPoint(o.Loc), Child: o.ID, Count: 1,
+		}}, inv)
+		return nil
+	}
+
+	// Choose-leaf descent, remembering the path (node ids + entry index
+	// taken at each internal node).
+	type step struct {
+		id    int32
+		entry int
+	}
+	var path []step
+	id := t.rootID
+	for {
+		node, err := t.ReadNode(id)
+		if err != nil {
+			return err
+		}
+		if node.Leaf {
+			break
+		}
+		best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+		target := geo.RectFromPoint(o.Loc)
+		for i, e := range node.Entries {
+			enl := e.Rect.Enlargement(target)
+			area := e.Rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		path = append(path, step{id, best})
+		id = node.Entries[best].Child
+	}
+
+	// Add the object to the leaf.
+	leaf, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	leafInv, err := t.ReadInvFile(leaf)
+	if err != nil {
+		return err
+	}
+	entryIdx := int32(len(leaf.Entries))
+	leaf.Entries = append(leaf.Entries, NodeEntry{
+		Rect: geo.RectFromPoint(o.Loc), Child: o.ID, Count: 1,
+	})
+	o.Doc.ForEach(func(tm vocab.TermID, _ int32) {
+		w := t.model.Weight(o.Doc, tm)
+		leafInv.Add(tm, invfile.Posting{Entry: entryIdx, MaxW: w, MinW: w})
+	})
+
+	splitID := int32(-1)
+	fanout := t.fanout()
+	if len(leaf.Entries) > fanout {
+		splitID, err = t.splitNode(id, leaf)
+		if err != nil {
+			return err
+		}
+	} else {
+		t.writeNodeData(id, true, leaf.Entries, leafInv)
+	}
+
+	// Propagate rect/count/posting updates (and any split) to the root.
+	childID, childSplit := id, splitID
+	for level := len(path) - 1; level >= 0; level-- {
+		parentID, entryIdx := path[level].id, path[level].entry
+		parent, err := t.ReadNode(parentID)
+		if err != nil {
+			return err
+		}
+		parentInv, err := t.ReadInvFile(parent)
+		if err != nil {
+			return err
+		}
+
+		// Refresh the taken entry from the child's new aggregate.
+		agg, rect, count, err := t.aggregateOf(childID)
+		if err != nil {
+			return err
+		}
+		parent.Entries[entryIdx].Rect = rect
+		parent.Entries[entryIdx].Count = count
+		updateEntryPostings(parentInv, int32(entryIdx), agg)
+
+		if childSplit >= 0 {
+			sAgg, sRect, sCount, err := t.aggregateOf(childSplit)
+			if err != nil {
+				return err
+			}
+			newIdx := int32(len(parent.Entries))
+			parent.Entries = append(parent.Entries, NodeEntry{Rect: sRect, Child: childSplit, Count: sCount})
+			updateEntryPostings(parentInv, newIdx, sAgg)
+		}
+
+		childSplit = -1
+		if len(parent.Entries) > fanout {
+			childSplit, err = t.splitNode(parentID, parent)
+			if err != nil {
+				return err
+			}
+		} else {
+			t.writeNodeData(parentID, false, parent.Entries, parentInv)
+		}
+		childID = parentID
+	}
+
+	// Root overflowed: grow the tree.
+	if childSplit >= 0 {
+		newRoot := t.allocNode()
+		inv := invfile.New()
+		var entries []NodeEntry
+		for i, cid := range []int32{childID, childSplit} {
+			agg, rect, count, err := t.aggregateOf(cid)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, NodeEntry{Rect: rect, Child: cid, Count: count})
+			updateEntryPostings(inv, int32(i), agg)
+		}
+		t.writeNodeData(newRoot, false, entries, inv)
+		t.rootID = newRoot
+		t.height++
+	}
+	return nil
+}
+
+func (t *Tree) fanout() int {
+	if t.cfgFanout > 0 {
+		return t.cfgFanout
+	}
+	return 64
+}
+
+// allocNode reserves a new node id.
+func (t *Tree) allocNode() int32 {
+	id := int32(len(t.nodePages))
+	t.nodePages = append(t.nodePages, storage.InvalidPage)
+	t.numNodes++
+	return id
+}
+
+// writeNodeData re-encodes a node and its inverted file, appending fresh
+// records and repointing the node id.
+func (t *Tree) writeNodeData(id int32, leaf bool, entries []NodeEntry, inv *invfile.File) {
+	invID := t.store.Put(inv, t.kind == MIRTree)
+	counts := make([]int32, len(entries))
+	total := int32(0)
+	rtEntries := make([]rtreeEntry, len(entries))
+	for i, e := range entries {
+		counts[i] = e.Count
+		total += e.Count
+		rtEntries[i] = rtreeEntry{rect: e.Rect, child: e.Child}
+	}
+	t.nodePages[id] = t.pager.WriteRecord(encodeNodeParts(leaf, rtEntries, counts, total, invID))
+}
+
+// aggregateOf reconstructs a node's subtree aggregate from its stored
+// inverted file: a term's max weight is the posting maximum over entries;
+// it is "covered" (min weight > 0) only when every entry carries a
+// positive-minimum posting for it.
+func (t *Tree) aggregateOf(id int32) (nodeAgg, geo.Rect, int32, error) {
+	node, err := t.ReadNode(id)
+	if err != nil {
+		return nil, geo.Rect{}, 0, err
+	}
+	inv, err := t.ReadInvFile(node)
+	if err != nil {
+		return nil, geo.Rect{}, 0, err
+	}
+	agg := make(nodeAgg)
+	nEntries := len(node.Entries)
+	for _, tm := range inv.Terms() {
+		ps := inv.Postings(tm)
+		a := aggEntry{minW: math.Inf(1), covered: len(ps) == nEntries}
+		for _, p := range ps {
+			if p.MaxW > a.maxW {
+				a.maxW = p.MaxW
+			}
+			if p.MinW < a.minW {
+				a.minW = p.MinW
+			}
+			if p.MinW <= 0 {
+				a.covered = false
+			}
+		}
+		if !a.covered {
+			a.minW = 0
+		}
+		agg[tm] = a
+	}
+	return agg, node.MBR(), node.Count, nil
+}
+
+// updateEntryPostings replaces every posting for the given entry with the
+// child aggregate's terms.
+func updateEntryPostings(inv *invfile.File, entry int32, agg nodeAgg) {
+	rebuilt := invfile.New()
+	inv.ForEach(func(tm vocab.TermID, ps []invfile.Posting) {
+		for _, p := range ps {
+			if p.Entry != entry {
+				rebuilt.Add(tm, p)
+			}
+		}
+	})
+	for tm, a := range agg {
+		rebuilt.Add(tm, invfile.Posting{Entry: entry, MaxW: a.maxW, MinW: a.minW})
+	}
+	*inv = *rebuilt
+}
+
+// rtreeEntry carries the structural part of an entry for encoding.
+type rtreeEntry struct {
+	rect  geo.Rect
+	child int32
+}
+
+// splitNode splits an overflowing decoded node in place (quadratic-split
+// seeds, greedy assignment), writes both halves, and returns the new
+// sibling's id.
+func (t *Tree) splitNode(id int32, node *NodeData) (int32, error) {
+	entries := node.Entries
+	// seeds: the pair wasting the most area together
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []NodeEntry{entries[seedA]}
+	groupB := []NodeEntry{entries[seedB]}
+	rectA, rectB := entries[seedA].Rect, entries[seedB].Rect
+	minFill := len(entries) * 2 / 5
+	if minFill < 1 {
+		minFill = 1
+	}
+	var rest []NodeEntry
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		if len(groupA)+len(rest) <= minFill {
+			groupA = append(groupA, rest...)
+			break
+		}
+		if len(groupB)+len(rest) <= minFill {
+			groupB = append(groupB, rest...)
+			break
+		}
+		e := rest[0]
+		rest = rest[1:]
+		dA, dB := rectA.Enlargement(e.Rect), rectB.Enlargement(e.Rect)
+		if dA < dB || (dA == dB && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+
+	sibID := t.allocNode()
+	if err := t.rebuildNodeFromEntries(id, node.Leaf, groupA); err != nil {
+		return -1, err
+	}
+	if err := t.rebuildNodeFromEntries(sibID, node.Leaf, groupB); err != nil {
+		return -1, err
+	}
+	return sibID, nil
+}
+
+// rebuildNodeFromEntries recomputes a node's inverted file from scratch —
+// exact leaf weights for leaves, child aggregates (read back from disk)
+// for internal nodes — and writes it.
+func (t *Tree) rebuildNodeFromEntries(id int32, leaf bool, entries []NodeEntry) error {
+	inv := invfile.New()
+	for i, e := range entries {
+		if leaf {
+			doc := t.ds.Objects[e.Child].Doc
+			doc.ForEach(func(tm vocab.TermID, _ int32) {
+				w := t.model.Weight(doc, tm)
+				inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: w, MinW: w})
+			})
+			continue
+		}
+		agg, _, _, err := t.aggregateOf(e.Child)
+		if err != nil {
+			return err
+		}
+		for tm, a := range agg {
+			inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: a.maxW, MinW: a.minW})
+		}
+	}
+	t.writeNodeData(id, leaf, entries, inv)
+	return nil
+}

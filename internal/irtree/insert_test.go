@@ -1,0 +1,228 @@
+package irtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// insertFixture builds an index over the first half of a dataset and
+// returns the remaining objects for insertion. The model is frozen over
+// the *full* corpus so that incremental results are comparable to a
+// bulk-loaded index over everything.
+func insertFixture(t testing.TB, n int, seed int64) (*Tree, []dataset.Object, *textrel.Scorer, *dataset.Dataset) {
+	t.Helper()
+	full := dataset.GenerateFlickr(dataset.FlickrConfig{
+		NumObjects: n, VocabSize: 250, MeanTags: 5, NumCluster: 6, Zipf: 1.2, Seed: seed,
+	})
+	scorer := textrel.NewScorer(full, textrel.LM, 0.5)
+	half := len(full.Objects) / 2
+	// a *copy* of the dataset containing only the first half, sharing
+	// vocabulary and (frozen) statistics with the full corpus
+	sub := &dataset.Dataset{
+		Objects: append([]dataset.Object(nil), full.Objects[:half]...),
+		Vocab:   full.Vocab,
+		Stats:   full.Stats,
+		Space:   full.Space,
+	}
+	tree := Build(sub, scorer.Model, Config{Kind: MIRTree, Fanout: 8})
+	return tree, full.Objects[half:], scorer, full
+}
+
+func TestInsertGrowsAndStaysConsistent(t *testing.T) {
+	tree, rest, _, _ := insertFixture(t, 600, 51)
+	before := len(tree.Dataset().Objects)
+	for _, o := range rest {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tree.Dataset().Objects); got != before+len(rest) {
+		t.Fatalf("objects = %d, want %d", got, before+len(rest))
+	}
+	root, err := tree.ReadNode(tree.RootID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(root.Count) != before+len(rest) {
+		t.Fatalf("root count = %d, want %d", root.Count, before+len(rest))
+	}
+	// every object reachable exactly once, rects containing, counts adding up
+	seen := map[int32]int{}
+	var walk func(id int32) int32
+	walk = func(id int32) int32 {
+		n, err := tree.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int32
+		for _, e := range n.Entries {
+			if n.Leaf {
+				seen[e.Child]++
+				loc := tree.Dataset().Objects[e.Child].Loc
+				if !e.Rect.Contains(loc) {
+					t.Fatalf("leaf rect %v does not contain object %v", e.Rect, loc)
+				}
+				total++
+			} else {
+				child, err := tree.ReadNode(e.Child)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !e.Rect.ContainsRect(child.MBR()) {
+					t.Fatalf("entry rect %v does not contain child MBR %v", e.Rect, child.MBR())
+				}
+				got := walk(e.Child)
+				if got != e.Count {
+					t.Fatalf("entry count %d, subtree has %d", e.Count, got)
+				}
+				total += got
+			}
+		}
+		if total != n.Count {
+			t.Fatalf("node %d count %d, entries sum %d", id, n.Count, total)
+		}
+		return total
+	}
+	walk(tree.RootID())
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("object %d reachable %d times", id, cnt)
+		}
+	}
+	if len(seen) != before+len(rest) {
+		t.Fatalf("reached %d objects, want %d", len(seen), before+len(rest))
+	}
+}
+
+// After inserts, top-k answers must match a brute-force scan over the
+// grown corpus under the frozen model — the search correctness invariant
+// survives incremental maintenance.
+func TestInsertTopKMatchesBruteForce(t *testing.T) {
+	tree, rest, scorer, full := insertFixture(t, 500, 61)
+	for _, o := range rest {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	us := dataset.GenerateUsers(full, dataset.UserConfig{NumUsers: 15, UL: 3, UW: 12, Area: 20, Seed: 62})
+	for ui := range us.Users {
+		u := &us.Users[ui]
+		got, _, err := tree.TopK(scorer, ViewOf(u, scorer), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteTopK(tree.Dataset(), scorer, u, 5)
+		if len(got) != len(want) {
+			t.Fatalf("user %d: %d results, want %d", ui, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("user %d rank %d: %v vs %v", ui, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+// The MIR-tree weight invariant must hold after arbitrary insert sequences.
+func TestInsertPostingBoundsInvariant(t *testing.T) {
+	tree, rest, _, _ := insertFixture(t, 300, 71)
+	rng := rand.New(rand.NewSource(72))
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	for i := range rest {
+		rest[i].ID = int32(len(tree.Dataset().Objects)) // IDs must stay dense
+		if err := tree.Insert(rest[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := tree.Model()
+	ds := tree.Dataset()
+
+	var docsUnder func(ref int32, isObj bool) []vocab.Doc
+	docsUnder = func(ref int32, isObj bool) []vocab.Doc {
+		if isObj {
+			return []vocab.Doc{ds.Objects[ref].Doc}
+		}
+		n, err := tree.ReadNode(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []vocab.Doc
+		for _, e := range n.Entries {
+			out = append(out, docsUnder(e.Child, n.Leaf)...)
+		}
+		return out
+	}
+	var check func(id int32)
+	check = func(id int32) {
+		n, err := tree.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := tree.ReadInvFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tm := range inv.Terms() {
+			for _, p := range inv.Postings(tm) {
+				for _, d := range docsUnder(n.Entries[p.Entry].Child, n.Leaf) {
+					w := model.Weight(d, tm)
+					if w > p.MaxW+1e-12 {
+						t.Fatalf("doc weight %v exceeds posting max %v", w, p.MaxW)
+					}
+					if p.MinW > 0 && w < p.MinW-1e-12 {
+						t.Fatalf("doc weight %v below posting min %v", w, p.MinW)
+					}
+				}
+			}
+		}
+		if !n.Leaf {
+			for _, e := range n.Entries {
+				check(e.Child)
+			}
+		}
+	}
+	check(tree.RootID())
+}
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	v := vocab.New()
+	a := v.Add("a")
+	ds := dataset.Build(nil, v)
+	scorer := textrel.NewScorer(ds, textrel.KO, 0.5)
+	tree := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 8})
+	for i := 0; i < 30; i++ {
+		err := tree.Insert(dataset.Object{
+			ID:  int32(i),
+			Loc: geo.Point{X: float64(i % 6), Y: float64(i / 6)},
+			Doc: vocab.DocFromTerms([]vocab.TermID{a}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := tree.ReadNode(tree.RootID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Count != 30 {
+		t.Fatalf("count = %d", root.Count)
+	}
+	if tree.Height() < 2 {
+		t.Errorf("30 inserts at fanout 8 should split, height = %d", tree.Height())
+	}
+}
+
+func TestInsertRejectsBadID(t *testing.T) {
+	tree, rest, _, _ := insertFixture(t, 100, 81)
+	bad := rest[0]
+	bad.ID = 9999
+	if err := tree.Insert(bad); err == nil {
+		t.Error("non-dense ID should be rejected")
+	}
+}

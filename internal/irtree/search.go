@@ -1,0 +1,127 @@
+package irtree
+
+import (
+	"repro/internal/container"
+	"repro/internal/invfile"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// MaxTextSums returns, for each entry of a node, an upper bound on
+// Σ_{t∈terms} Weight(d,t) over every document d in the entry's subtree:
+// the posting's maximum weight where the subtree contains the term, and
+// the model's floor weight (LM smoothing) where it does not. For leaf
+// entries the result is exact, because the leaf posting weight is the
+// document's own weight.
+func MaxTextSums(model textrel.Model, inv *invfile.File, nEntries int, terms []vocab.TermID) []float64 {
+	sums := make([]float64, nEntries)
+	floorSum := 0.0
+	for _, tm := range terms {
+		floorSum += model.FloorWeight(tm)
+	}
+	for i := range sums {
+		sums[i] = floorSum
+	}
+	for _, tm := range terms {
+		floor := model.FloorWeight(tm)
+		for _, p := range inv.Postings(tm) {
+			sums[p.Entry] += p.MaxW - floor
+		}
+	}
+	return sums
+}
+
+// MinTextSums returns, for each entry of a node, a lower bound on
+// Σ_{t∈terms} Weight(d,t) over every document d in the entry's subtree:
+// the posting's minimum weight where positive (the term is in the subtree
+// intersection), otherwise the floor. Only meaningful on a MIR-tree; on an
+// IR-tree all stored minima are zero and the bound degrades to the floor.
+func MinTextSums(model textrel.Model, inv *invfile.File, nEntries int, terms []vocab.TermID) []float64 {
+	sums := make([]float64, nEntries)
+	floorSum := 0.0
+	for _, tm := range terms {
+		floorSum += model.FloorWeight(tm)
+	}
+	for i := range sums {
+		sums[i] = floorSum
+	}
+	for _, tm := range terms {
+		floor := model.FloorWeight(tm)
+		for _, p := range inv.Postings(tm) {
+			if p.MinW > floor {
+				sums[p.Entry] += p.MinW - floor
+			}
+		}
+	}
+	return sums
+}
+
+// Result is one ranked object.
+type Result struct {
+	ObjID int32
+	Score float64
+}
+
+// TopK computes the k most spatial-textually relevant objects for a single
+// user with the best-first IR-tree search of Cong et al. [3] — the
+// per-user computation the baseline of Section 4 performs for every user.
+// It returns the results in descending score order together with RSk(u),
+// the score of the k-th ranked object (−MaxFloat64 when fewer than k
+// objects exist).
+//
+// Every node visit and inverted-file load is charged to the tree's
+// IOCounter, so baselines that call TopK per user accumulate the
+// duplicated I/O the joint algorithm of Section 5 is designed to avoid.
+func (t *Tree) TopK(scorer *textrel.Scorer, u UserView, k int) ([]Result, float64, error) {
+	tk := container.NewTopK[Result](k)
+	if t.rootID < 0 {
+		return nil, tk.Threshold(), nil
+	}
+
+	type cand struct {
+		ref    int32
+		isNode bool
+	}
+	pq := container.NewMaxHeap[cand]()
+	pq.Push(cand{t.rootID, true}, 1) // any key ≥ every true score works for the root
+
+	uRect := u.Rect()
+	for pq.Len() > 0 {
+		c, key := pq.Pop()
+		if tk.Full() && key <= tk.Threshold() {
+			break // best-first: nothing better remains
+		}
+		if !c.isNode {
+			tk.Offer(Result{ObjID: c.ref, Score: key}, key)
+			continue
+		}
+		node, err := t.ReadNode(c.ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		inv, err := t.ReadInvFile(node)
+		if err != nil {
+			return nil, 0, err
+		}
+		sums := MaxTextSums(t.model, inv, len(node.Entries), u.Terms)
+		for i, e := range node.Entries {
+			ss := scorer.SSMax(e.Rect, uRect)
+			score := scorer.Alpha*ss + (1-scorer.Alpha)*sums[i]/u.Norm
+			if tk.Full() && score < tk.Threshold() {
+				continue
+			}
+			pq.Push(cand{e.Child, !node.Leaf}, score)
+		}
+	}
+
+	results := tk.PopAscending()
+	for i, j := 0, len(results)-1; i < j; i, j = i+1, j-1 {
+		results[i], results[j] = results[j], results[i]
+	}
+	// Threshold was consumed by PopAscending; recompute from results.
+	rsk := -1.7976931348623157e308
+	if len(results) == k {
+		rsk = results[len(results)-1].Score
+	}
+	return results, rsk, nil
+}

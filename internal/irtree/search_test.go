@@ -1,0 +1,194 @@
+package irtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/invfile"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// bruteTopK ranks all objects for a user by exact STS.
+func bruteTopK(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, k int) []Result {
+	norm := scorer.Norm(u.Doc)
+	all := make([]Result, len(ds.Objects))
+	for i, o := range ds.Objects {
+		all[i] = Result{ObjID: o.ID, Score: scorer.STS(o.Loc, o.Doc, u.Loc, u.Doc, norm)}
+	}
+	sortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// The headline correctness test: best-first IR-tree top-k must match an
+// exhaustive scan for every measure and several k.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	for _, measure := range []textrel.MeasureKind{textrel.LM, textrel.TFIDF, textrel.KO, textrel.BM25} {
+		tree, ds, scorer := buildSmall(t, MIRTree, measure)
+		us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 25, UL: 3, UW: 15, Area: 20, Seed: 13})
+		for _, k := range []int{1, 5, 10} {
+			for ui := range us.Users {
+				u := &us.Users[ui]
+				got, rsk, err := tree.TopK(scorer, ViewOf(u, scorer), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteTopK(ds, scorer, u, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s k=%d user %d: %d results, want %d", measure, k, u.ID, len(got), len(want))
+				}
+				for i := range want {
+					if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+						t.Fatalf("%s k=%d user %d rank %d: score %v, want %v (obj %d vs %d)",
+							measure, k, u.ID, i, got[i].Score, want[i].Score, got[i].ObjID, want[i].ObjID)
+					}
+				}
+				if math.Abs(rsk-want[len(want)-1].Score) > 1e-9 {
+					t.Fatalf("%s k=%d user %d: RSk = %v, want %v", measure, k, u.ID, rsk, want[len(want)-1].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKDescendingOrder(t *testing.T) {
+	tree, ds, scorer := buildSmall(t, MIRTree, textrel.LM)
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 5, UL: 3, UW: 10, Area: 20, Seed: 17})
+	u := &us.Users[0]
+	got, _, err := tree.TopK(scorer, ViewOf(u, scorer), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Fatalf("results not descending at %d: %v < %v", i, got[i-1].Score, got[i].Score)
+		}
+	}
+}
+
+func TestTopKPrunesIO(t *testing.T) {
+	tree, ds, scorer := buildSmall(t, MIRTree, textrel.LM)
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 5, UL: 2, UW: 10, Area: 5, Seed: 19})
+	u := &us.Users[0]
+	tree.IO().Reset()
+	if _, _, err := tree.TopK(scorer, ViewOf(u, scorer), 5); err != nil {
+		t.Fatal(err)
+	}
+	if visits := tree.IO().NodeVisits(); visits >= int64(tree.NumNodes()) {
+		t.Errorf("best-first search visited %d of %d nodes — no pruning", visits, tree.NumNodes())
+	}
+}
+
+func TestTopKKLargerThanDataset(t *testing.T) {
+	tree, ds, scorer := buildSmall(t, MIRTree, textrel.KO)
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 2, UL: 2, UW: 10, Area: 20, Seed: 23})
+	u := &us.Users[0]
+	got, rsk, err := tree.TopK(scorer, ViewOf(u, scorer), len(ds.Objects)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds.Objects) {
+		t.Errorf("got %d results, want all %d", len(got), len(ds.Objects))
+	}
+	if rsk != -math.MaxFloat64 {
+		t.Errorf("RSk with unfilled top-k = %v, want -MaxFloat64", rsk)
+	}
+}
+
+func TestMaxMinTextSums(t *testing.T) {
+	ds, terms := func() (*dataset.Dataset, []vocab.TermID) {
+		v := vocab.New()
+		a, b := v.Add("a"), v.Add("b")
+		objs := []dataset.Object{
+			{ID: 0, Doc: vocab.DocFromTerms([]vocab.TermID{a})},
+			{ID: 1, Doc: vocab.DocFromTerms([]vocab.TermID{a, b})},
+		}
+		return dataset.Build(objs, v), []vocab.TermID{a, b}
+	}()
+	model := textrel.NewKeywordOverlap(ds)
+
+	inv := invfile.New()
+	// entry 0 subtree: term a in all docs (min 1); term b absent
+	inv.Add(terms[0], invfile.Posting{Entry: 0, MaxW: 1, MinW: 1})
+	// entry 1 subtree: a in some docs (min 0), b in all
+	inv.Add(terms[0], invfile.Posting{Entry: 1, MaxW: 1, MinW: 0})
+	inv.Add(terms[1], invfile.Posting{Entry: 1, MaxW: 1, MinW: 1})
+
+	maxSums := MaxTextSums(model, inv, 2, terms)
+	if maxSums[0] != 1 || maxSums[1] != 2 {
+		t.Errorf("MaxTextSums = %v, want [1 2]", maxSums)
+	}
+	minSums := MinTextSums(model, inv, 2, terms)
+	if minSums[0] != 1 || minSums[1] != 1 {
+		t.Errorf("MinTextSums = %v, want [1 1]", minSums)
+	}
+	// subset of terms
+	maxA := MaxTextSums(model, inv, 2, terms[:1])
+	if maxA[0] != 1 || maxA[1] != 1 {
+		t.Errorf("MaxTextSums(a) = %v", maxA)
+	}
+}
+
+// Property on the built tree: for every node entry, MinTextSums ≤ actual
+// doc sum ≤ MaxTextSums for the documents under that entry.
+func TestTextSumsBracketDocSums(t *testing.T) {
+	tree, ds, _ := buildSmall(t, MIRTree, textrel.LM)
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 3, UL: 4, UW: 12, Area: 20, Seed: 29})
+	terms := us.Users[0].Doc.Terms()
+	model := tree.Model()
+
+	docSum := func(d vocab.Doc) float64 {
+		s := 0.0
+		for _, tm := range terms {
+			s += model.Weight(d, tm)
+		}
+		return s
+	}
+	var docsUnder func(ref int32, isObj bool) []vocab.Doc
+	docsUnder = func(ref int32, isObj bool) []vocab.Doc {
+		if isObj {
+			return []vocab.Doc{ds.Objects[ref].Doc}
+		}
+		n, _ := tree.ReadNode(ref)
+		var out []vocab.Doc
+		for _, e := range n.Entries {
+			out = append(out, docsUnder(e.Child, n.Leaf)...)
+		}
+		return out
+	}
+
+	var check func(id int32)
+	check = func(id int32) {
+		n, err := tree.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := tree.ReadInvFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSums := MaxTextSums(model, inv, len(n.Entries), terms)
+		minSums := MinTextSums(model, inv, len(n.Entries), terms)
+		for i, e := range n.Entries {
+			for _, d := range docsUnder(e.Child, n.Leaf) {
+				s := docSum(d)
+				if s > maxSums[i]+1e-9 {
+					t.Fatalf("doc sum %v exceeds MaxTextSums %v", s, maxSums[i])
+				}
+				if s < minSums[i]-1e-9 {
+					t.Fatalf("doc sum %v below MinTextSums %v", s, minSums[i])
+				}
+			}
+		}
+		if !n.Leaf {
+			for _, e := range n.Entries {
+				check(e.Child)
+			}
+		}
+	}
+	check(tree.RootID())
+}

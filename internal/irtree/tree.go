@@ -1,0 +1,270 @@
+// Package irtree implements the IR-tree of Cong et al. [3] and the paper's
+// MIR-tree extension (Section 5.1) over one code base: an R-tree in which
+// every node carries an inverted file describing the term weights of the
+// documents in each entry's subtree. The IR-tree stores the maximum weight
+// per (term, entry); the MIR-tree additionally stores the minimum weight
+// over the subtree intersection, enabling the lower bounds of Section 5.3.
+//
+// Nodes and inverted files are serialized into a 4 kB pager and read back
+// through an accountable accessor: every node read charges one simulated
+// I/O and every inverted-file load charges one I/O per block, exactly the
+// Section 8 cost model.
+package irtree
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/invfile"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// Kind selects the index variant.
+type Kind int
+
+const (
+	// IRTree stores only maximum term weights per node (the baseline
+	// index of Section 4).
+	IRTree Kind = iota
+	// MIRTree stores minimum and maximum weights (Section 5.1).
+	MIRTree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == MIRTree {
+		return "MIR-tree"
+	}
+	return "IR-tree"
+}
+
+// Config controls index construction.
+type Config struct {
+	Kind   Kind
+	Fanout int // maximum entries per node; 0 selects rtree.DefaultMaxEntries
+	// CacheCapacity enables an LRU buffer pool over the pager: reads
+	// served from the pool charge no simulated I/O. Zero keeps every
+	// query cold, the Section 8 evaluation setting. ResetCache restores a
+	// cold boundary between queries.
+	CacheCapacity int
+}
+
+// Tree is a disk-resident IR-tree or MIR-tree over a dataset's objects.
+type Tree struct {
+	kind  Kind
+	ds    *dataset.Dataset
+	model textrel.Model
+
+	pager *storage.Pager
+	io    *storage.IOCounter
+	store *invfile.Store
+	cache *storage.BufferPool // nil when CacheCapacity == 0 (cold queries)
+
+	nodePages []storage.PageID // node id → serialized node record
+	rootID    int32
+	height    int
+	numNodes  int
+	cfgFanout int
+}
+
+// nodeAgg is the per-term aggregate of one subtree used during bottom-up
+// construction: the max and min weight over the subtree's documents, and
+// whether the term occurs in every document (the subtree "intersection").
+type nodeAgg map[vocab.TermID]aggEntry
+
+type aggEntry struct {
+	maxW    float64
+	minW    float64
+	covered bool // term present in every document of the subtree
+}
+
+// Build constructs the index over ds with the given relevance model. The
+// model provides the document term weights stored in the inverted files.
+func Build(ds *dataset.Dataset, model textrel.Model, cfg Config) *Tree {
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = rtree.DefaultMaxEntries
+	}
+	items := make([]rtree.Item, len(ds.Objects))
+	for i, o := range ds.Objects {
+		items[i] = rtree.Item{Ref: o.ID, Rect: geo.RectFromPoint(o.Loc)}
+	}
+	rt := rtree.BulkLoad(items, fanout)
+
+	t := &Tree{
+		kind:      cfg.Kind,
+		ds:        ds,
+		model:     model,
+		pager:     storage.NewPager(),
+		io:        &storage.IOCounter{},
+		nodePages: make([]storage.PageID, rt.NumNodes()),
+		rootID:    rt.RootID(),
+		height:    rt.Height(),
+		numNodes:  rt.NumNodes(),
+		cfgFanout: fanout,
+	}
+	t.store = invfile.NewStore(t.pager, t.io)
+	if cfg.CacheCapacity > 0 {
+		t.cache = storage.NewBufferPool(t.pager, cfg.CacheCapacity)
+	}
+	for i := range t.nodePages {
+		t.nodePages[i] = storage.InvalidPage
+	}
+	if rt.RootID() != rtree.NoNode {
+		t.buildNode(rt, rt.RootID())
+	}
+	return t
+}
+
+// buildNode serializes the subtree rooted at id bottom-up and returns its
+// aggregate and object count.
+func (t *Tree) buildNode(rt *rtree.Tree, id int32) (nodeAgg, int32) {
+	n := rt.Node(id)
+	inv := invfile.New()
+	counts := make([]int32, len(n.Entries))
+	agg := make(nodeAgg)
+	entryCovered := make([]nodeAgg, len(n.Entries))
+	total := int32(0)
+
+	for i, e := range n.Entries {
+		var childAgg nodeAgg
+		var childCount int32
+		if n.Leaf {
+			doc := t.ds.Objects[e.Child].Doc
+			childAgg = make(nodeAgg, doc.Unique())
+			doc.ForEach(func(tm vocab.TermID, _ int32) {
+				w := t.model.Weight(doc, tm)
+				childAgg[tm] = aggEntry{maxW: w, minW: w, covered: true}
+			})
+			childCount = 1
+		} else {
+			childAgg, childCount = t.buildNode(rt, e.Child)
+		}
+		counts[i] = childCount
+		total += childCount
+		entryCovered[i] = childAgg
+		for tm, a := range childAgg {
+			inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: a.maxW, MinW: a.minW})
+		}
+	}
+
+	// Merge the entry aggregates into this node's subtree aggregate.
+	for _, childAgg := range entryCovered {
+		for tm, a := range childAgg {
+			cur, seen := agg[tm]
+			if !seen {
+				agg[tm] = a
+				continue
+			}
+			if a.maxW > cur.maxW {
+				cur.maxW = a.maxW
+			}
+			if a.minW < cur.minW {
+				cur.minW = a.minW
+			}
+			cur.covered = cur.covered && a.covered
+			agg[tm] = cur
+		}
+	}
+	// A term missing from any entry is not in the subtree intersection.
+	for tm, a := range agg {
+		for _, childAgg := range entryCovered {
+			if ca, ok := childAgg[tm]; !ok || !ca.covered {
+				a.covered = false
+				a.minW = 0
+				break
+			}
+		}
+		agg[tm] = a
+	}
+
+	invID := t.store.Put(inv, t.kind == MIRTree)
+	t.nodePages[id] = t.pager.WriteRecord(encodeNode(n, counts, total, invID))
+	return agg, total
+}
+
+// Kind returns the index variant.
+func (t *Tree) Kind() Kind { return t.kind }
+
+// Dataset returns the indexed dataset.
+func (t *Tree) Dataset() *dataset.Dataset { return t.ds }
+
+// Model returns the relevance model whose weights are stored in the index.
+func (t *Tree) Model() textrel.Model { return t.model }
+
+// IO returns the simulated I/O counter charged by node and inverted-file
+// reads.
+func (t *Tree) IO() *storage.IOCounter { return t.io }
+
+// RootID returns the root node id, or rtree.NoNode when the tree is empty.
+func (t *Tree) RootID() int32 { return t.rootID }
+
+// Height returns the number of tree levels.
+func (t *Tree) Height() int { return t.height }
+
+// NumNodes returns the number of nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// DiskPages returns the total pages occupied by nodes and inverted files.
+func (t *Tree) DiskPages() int { return t.pager.NumPages() }
+
+// ReadNode fetches and decodes the node with the given id, charging one
+// simulated node-visit I/O (the Section 8 rule). With a warm buffer pool
+// configured, pool hits charge nothing.
+func (t *Tree) ReadNode(id int32) (*NodeData, error) {
+	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
+		return nil, fmt.Errorf("irtree: unknown node %d", id)
+	}
+	if t.cache != nil {
+		buf, hit, err := t.cache.Read(t.nodePages[id])
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			t.io.NodeVisit()
+		}
+		return decodeNode(id, buf)
+	}
+	t.io.NodeVisit()
+	buf, err := t.pager.ReadRecord(t.nodePages[id])
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(id, buf)
+}
+
+// ReadInvFile loads the inverted file referenced by a node, charging one
+// simulated I/O per 4 kB block (pool hits charge nothing).
+func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
+	if t.cache != nil {
+		buf, hit, err := t.cache.Read(node.InvID)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			t.io.InvFileLoad(t.pager.RecordPages(node.InvID))
+		}
+		return invfile.Decode(buf)
+	}
+	return t.store.Load(node.InvID)
+}
+
+// ResetCache drops all buffered pages — a cold-query boundary. No-op when
+// no cache is configured.
+func (t *Tree) ResetCache() {
+	if t.cache != nil {
+		t.cache.Reset()
+	}
+}
+
+// CacheStats returns buffer-pool hits and misses (zeros when cold).
+func (t *Tree) CacheStats() (hits, misses int64) {
+	if t.cache == nil {
+		return 0, 0
+	}
+	return t.cache.Stats()
+}

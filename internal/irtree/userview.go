@@ -1,0 +1,32 @@
+package irtree
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// UserView is the query-side view of a user (or group of users) during a
+// tree search: a spatial region, the terms to score, and the text
+// normalizer. For an individual user the region is their point and Norm is
+// Norm(u); for the super-user of Section 5.2 the region is the users' MBR
+// and the terms/norm come from the keyword union and the group minimum
+// (see topk.SuperUser).
+type UserView struct {
+	Area  geo.Rect
+	Terms []vocab.TermID
+	Norm  float64
+}
+
+// Rect returns the spatial region of the view.
+func (u UserView) Rect() geo.Rect { return u.Area }
+
+// ViewOf builds the single-user view with the scorer's normalizer.
+func ViewOf(u *dataset.User, scorer *textrel.Scorer) UserView {
+	return UserView{
+		Area:  geo.RectFromPoint(u.Loc),
+		Terms: u.Doc.Terms(),
+		Norm:  scorer.Norm(u.Doc),
+	}
+}

@@ -1,0 +1,250 @@
+// Package miurtree implements the Modified IUR-tree of Section 7: an
+// R-tree over the user set in which every node entry is augmented with the
+// union and intersection vectors of the keywords appearing in its subtree,
+// the number of users stored there, and the subtree's extreme text
+// normalizers. The MaxBRSTkNN engine uses it to avoid computing top-k
+// objects for users that cannot affect the query result.
+//
+// Like the object index, nodes are serialized into a 4 kB pager and every
+// read charges one simulated node-visit I/O.
+package miurtree
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// NodeEntry is one decoded slot: a child node (internal) or a user (leaf),
+// with the textual aggregates of the subtree below it.
+type NodeEntry struct {
+	Rect    geo.Rect
+	Child   int32 // node id, or user index for leaf entries
+	Count   int32 // users in the subtree (1 for leaf entries)
+	Uni     []vocab.TermID
+	Int     []vocab.TermID
+	MinNorm float64
+	MaxNorm float64
+}
+
+// NodeData is a decoded MIUR-tree node.
+type NodeData struct {
+	ID      int32
+	Leaf    bool
+	Entries []NodeEntry
+}
+
+// Tree is a disk-resident MIUR-tree over a user set.
+type Tree struct {
+	users []dataset.User
+
+	pager     *storage.Pager
+	io        *storage.IOCounter
+	nodePages []storage.PageID
+	rootID    int32
+	numNodes  int
+
+	// Root-level aggregate (the super-user of the whole set).
+	RootEntry NodeEntry
+}
+
+// Build constructs the index. The scorer supplies the per-user normalizers
+// aggregated into each entry.
+func Build(users []dataset.User, scorer *textrel.Scorer, fanout int) *Tree {
+	if fanout == 0 {
+		fanout = rtree.DefaultMaxEntries
+	}
+	items := make([]rtree.Item, len(users))
+	for i := range users {
+		items[i] = rtree.Item{Ref: int32(i), Rect: geo.RectFromPoint(users[i].Loc)}
+	}
+	rt := rtree.BulkLoad(items, fanout)
+
+	t := &Tree{
+		users:     users,
+		pager:     storage.NewPager(),
+		io:        &storage.IOCounter{},
+		nodePages: make([]storage.PageID, rt.NumNodes()),
+		rootID:    rt.RootID(),
+		numNodes:  rt.NumNodes(),
+	}
+	for i := range t.nodePages {
+		t.nodePages[i] = storage.InvalidPage
+	}
+	if rt.RootID() != rtree.NoNode {
+		t.RootEntry = t.buildNode(rt, rt.RootID(), scorer)
+	}
+	return t
+}
+
+// buildNode serializes the subtree bottom-up and returns the entry a
+// parent would hold for it.
+func (t *Tree) buildNode(rt *rtree.Tree, id int32, scorer *textrel.Scorer) NodeEntry {
+	n := rt.Node(id)
+	entries := make([]NodeEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		if n.Leaf {
+			u := &t.users[e.Child]
+			norm := scorer.Norm(u.Doc)
+			entries[i] = NodeEntry{
+				Rect:    e.Rect,
+				Child:   e.Child,
+				Count:   1,
+				Uni:     u.Doc.Terms(),
+				Int:     u.Doc.Terms(),
+				MinNorm: norm,
+				MaxNorm: norm,
+			}
+		} else {
+			entries[i] = t.buildNode(rt, e.Child, scorer)
+		}
+	}
+	t.nodePages[id] = t.pager.WriteRecord(encodeNode(n.Leaf, entries))
+	return mergeEntries(id, n.MBR(), entries)
+}
+
+// mergeEntries aggregates child entries into the parent-side entry.
+func mergeEntries(id int32, rect geo.Rect, entries []NodeEntry) NodeEntry {
+	out := NodeEntry{Rect: rect, Child: id}
+	uniSet := make(map[vocab.TermID]bool)
+	intCount := make(map[vocab.TermID]int)
+	for i, e := range entries {
+		out.Count += e.Count
+		for _, tm := range e.Uni {
+			uniSet[tm] = true
+		}
+		for _, tm := range e.Int {
+			intCount[tm]++
+		}
+		if i == 0 || e.MinNorm < out.MinNorm {
+			out.MinNorm = e.MinNorm
+		}
+		if i == 0 || e.MaxNorm > out.MaxNorm {
+			out.MaxNorm = e.MaxNorm
+		}
+	}
+	for tm := range uniSet {
+		out.Uni = append(out.Uni, tm)
+	}
+	for tm, c := range intCount {
+		if c == len(entries) {
+			out.Int = append(out.Int, tm)
+		}
+	}
+	sortTerms(out.Uni)
+	sortTerms(out.Int)
+	return out
+}
+
+func sortTerms(ts []vocab.TermID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// Users returns the indexed user slice.
+func (t *Tree) Users() []dataset.User { return t.users }
+
+// RootID returns the root node id (rtree.NoNode when empty).
+func (t *Tree) RootID() int32 { return t.rootID }
+
+// NumNodes returns the number of nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// IO returns the node-visit counter.
+func (t *Tree) IO() *storage.IOCounter { return t.io }
+
+// DiskPages returns the pages occupied by serialized nodes.
+func (t *Tree) DiskPages() int { return t.pager.NumPages() }
+
+// ReadNode fetches and decodes a node, charging one simulated I/O.
+func (t *Tree) ReadNode(id int32) (*NodeData, error) {
+	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
+		return nil, fmt.Errorf("miurtree: unknown node %d", id)
+	}
+	t.io.NodeVisit()
+	buf, err := t.pager.ReadRecord(t.nodePages[id])
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(id, buf)
+}
+
+// ---- serialization ----
+
+func encodeNode(leaf bool, entries []NodeEntry) []byte {
+	buf := storage.AppendUvarint(nil, boolBit(leaf))
+	buf = storage.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = storage.AppendUvarint(buf, uint64(e.Child))
+		buf = storage.AppendUvarint(buf, uint64(e.Count))
+		buf = storage.AppendFloat64(buf, e.Rect.Min.X)
+		buf = storage.AppendFloat64(buf, e.Rect.Min.Y)
+		buf = storage.AppendFloat64(buf, e.Rect.Max.X)
+		buf = storage.AppendFloat64(buf, e.Rect.Max.Y)
+		buf = storage.AppendFloat64(buf, e.MinNorm)
+		buf = storage.AppendFloat64(buf, e.MaxNorm)
+		buf = appendTerms(buf, e.Uni)
+		buf = appendTerms(buf, e.Int)
+	}
+	return buf
+}
+
+func appendTerms(buf []byte, ts []vocab.TermID) []byte {
+	buf = storage.AppendUvarint(buf, uint64(len(ts)))
+	prev := vocab.TermID(0)
+	for _, t := range ts {
+		buf = storage.AppendUvarint(buf, uint64(t-prev)) // ascending: deltas
+		prev = t
+	}
+	return buf
+}
+
+func decodeNode(id int32, buf []byte) (*NodeData, error) {
+	d := storage.NewDecoder(buf)
+	leaf := d.Uvarint() == 1
+	cnt := d.Uvarint()
+	entries := make([]NodeEntry, cnt)
+	for i := range entries {
+		e := &entries[i]
+		e.Child = int32(d.Uvarint())
+		e.Count = int32(d.Uvarint())
+		e.Rect.Min.X = d.Float64()
+		e.Rect.Min.Y = d.Float64()
+		e.Rect.Max.X = d.Float64()
+		e.Rect.Max.Y = d.Float64()
+		e.MinNorm = d.Float64()
+		e.MaxNorm = d.Float64()
+		e.Uni = decodeTerms(d)
+		e.Int = decodeTerms(d)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("miurtree: node %d: %w", id, err)
+	}
+	return &NodeData{ID: id, Leaf: leaf, Entries: entries}, nil
+}
+
+func decodeTerms(d *storage.Decoder) []vocab.TermID {
+	n := d.Uvarint()
+	out := make([]vocab.TermID, n)
+	prev := vocab.TermID(0)
+	for i := range out {
+		prev += vocab.TermID(d.Uvarint())
+		out[i] = prev
+	}
+	return out
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

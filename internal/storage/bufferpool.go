@@ -1,0 +1,112 @@
+package storage
+
+// BufferPool is an LRU cache of decoded records in front of a Pager. The
+// experiments run cold queries (the pool is reset between queries), but a
+// pool is still required within one query so that revisiting a node does
+// not decode — or get charged — twice when the algorithm guarantees
+// at-most-once access and the implementation wants to assert it.
+type BufferPool struct {
+	pager    *Pager
+	capacity int
+	entries  map[PageID]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	hits     int64
+	misses   int64
+}
+
+type lruNode struct {
+	id         PageID
+	data       []byte
+	prev, next *lruNode
+}
+
+// NewBufferPool returns a pool over pager caching up to capacity records.
+// A non-positive capacity disables caching (every read is a miss).
+func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		entries:  make(map[PageID]*lruNode),
+	}
+}
+
+// Read returns the record at id, serving from cache when possible. The
+// returned slice is shared with the cache and must not be modified.
+// The second result reports whether the read was a cache hit.
+func (b *BufferPool) Read(id PageID) ([]byte, bool, error) {
+	if n, ok := b.entries[id]; ok {
+		b.hits++
+		b.moveToFront(n)
+		return n.data, true, nil
+	}
+	b.misses++
+	data, err := b.pager.ReadRecord(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if b.capacity > 0 {
+		b.insert(id, data)
+	}
+	return data, false, nil
+}
+
+// Stats returns cumulative hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses int64) { return b.hits, b.misses }
+
+// Reset drops all cached records (a cold-query boundary) but keeps the
+// hit/miss statistics.
+func (b *BufferPool) Reset() {
+	b.entries = make(map[PageID]*lruNode)
+	b.head, b.tail = nil, nil
+}
+
+func (b *BufferPool) insert(id PageID, data []byte) {
+	n := &lruNode{id: id, data: data}
+	b.entries[id] = n
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+	if len(b.entries) > b.capacity {
+		evict := b.tail
+		b.unlink(evict)
+		delete(b.entries, evict.id)
+	}
+}
+
+func (b *BufferPool) moveToFront(n *lruNode) {
+	if b.head == n {
+		return
+	}
+	b.unlink(n)
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *BufferPool) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if b.head == n {
+		b.head = n.next
+	}
+	if b.tail == n {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

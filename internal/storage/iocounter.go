@@ -1,0 +1,44 @@
+package storage
+
+// IOCounter implements the simulated I/O accounting of Section 8: visiting
+// a tree node costs one I/O; loading an inverted file costs one I/O per
+// 4 kB block of the stored list. The experiments report these counts, not
+// physical disk reads, because (as the paper notes) multiple cache layers
+// sit between the process and the disk.
+type IOCounter struct {
+	nodeVisits int64
+	invBlocks  int64
+}
+
+// NodeVisit records one tree-node access.
+func (c *IOCounter) NodeVisit() { c.nodeVisits++ }
+
+// InvFileLoad records loading an inverted file spanning blocks pages.
+func (c *IOCounter) InvFileLoad(blocks int) { c.invBlocks += int64(blocks) }
+
+// NodeVisits returns the number of node accesses recorded.
+func (c *IOCounter) NodeVisits() int64 { return c.nodeVisits }
+
+// InvBlocks returns the number of inverted-file blocks charged.
+func (c *IOCounter) InvBlocks() int64 { return c.invBlocks }
+
+// Total returns the combined simulated I/O count.
+func (c *IOCounter) Total() int64 { return c.nodeVisits + c.invBlocks }
+
+// Reset zeroes the counter (a "cold query" boundary).
+func (c *IOCounter) Reset() { c.nodeVisits, c.invBlocks = 0, 0 }
+
+// Snapshot captures the current counts for later deltas.
+func (c *IOCounter) Snapshot() IOSnapshot {
+	return IOSnapshot{Nodes: c.nodeVisits, Blocks: c.invBlocks}
+}
+
+// IOSnapshot is a point-in-time copy of an IOCounter.
+type IOSnapshot struct {
+	Nodes, Blocks int64
+}
+
+// DeltaSince returns the I/Os recorded since the snapshot was taken.
+func (c *IOCounter) DeltaSince(s IOSnapshot) int64 {
+	return (c.nodeVisits - s.Nodes) + (c.invBlocks - s.Blocks)
+}

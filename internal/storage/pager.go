@@ -1,0 +1,150 @@
+// Package storage provides the disk substrate the experiments account
+// against: a 4 KB pager holding serialized tree nodes and inverted files,
+// an I/O counter implementing the paper's simulated-I/O rule (Section 8:
+// +1 per tree-node visit, +⌈bytes/4096⌉ per inverted-file load), an LRU
+// buffer pool, and the varint encoding helpers shared by the node and
+// posting-list serializers.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PageSize is the fixed disk page size of the experimental setup (4 kB).
+const PageSize = 4096
+
+// PageID identifies one page within a Pager.
+type PageID int64
+
+// InvalidPage is the zero-like sentinel for "no page".
+const InvalidPage PageID = -1
+
+// Pager is an append-oriented page store. Records larger than one page
+// span consecutive pages; the pager tracks each record's byte length so
+// reads return exactly what was written. All methods are single-goroutine;
+// index construction and querying in this codebase are sequential, matching
+// the paper's cold-query evaluation.
+type Pager struct {
+	pages   [][]byte
+	lengths map[PageID]int // record byte length, keyed by first page
+}
+
+// NewPager returns an empty in-memory pager.
+func NewPager() *Pager {
+	return &Pager{lengths: make(map[PageID]int)}
+}
+
+// WriteRecord appends data as a new record and returns its PageID. The
+// record occupies ⌈len(data)/PageSize⌉ pages (at least one, so that empty
+// records still have an address).
+func (p *Pager) WriteRecord(data []byte) PageID {
+	id := PageID(len(p.pages))
+	n := (len(data) + PageSize - 1) / PageSize
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		page := make([]byte, PageSize)
+		lo := i * PageSize
+		hi := lo + PageSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo < len(data) {
+			copy(page, data[lo:hi])
+		}
+		p.pages = append(p.pages, page)
+	}
+	p.lengths[id] = len(data)
+	return id
+}
+
+// ReadRecord returns the record starting at id. The returned slice is a
+// copy; callers may retain it.
+func (p *Pager) ReadRecord(id PageID) ([]byte, error) {
+	length, ok := p.lengths[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: no record at page %d", id)
+	}
+	out := make([]byte, length)
+	for off := 0; off < length; off += PageSize {
+		page := p.pages[int(id)+off/PageSize]
+		copy(out[off:], page)
+	}
+	return out, nil
+}
+
+// RecordPages returns the number of pages the record at id occupies —
+// the block count the simulated I/O rule charges for loading it.
+func (p *Pager) RecordPages(id PageID) int {
+	length, ok := p.lengths[id]
+	if !ok {
+		return 0
+	}
+	n := (length + PageSize - 1) / PageSize
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// NumPages returns the total number of allocated pages.
+func (p *Pager) NumPages() int { return len(p.pages) }
+
+// ---- varint encoding helpers ----
+
+// AppendUvarint appends v to buf in unsigned LEB128.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of f, little-endian.
+func AppendFloat64(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// Decoder reads back values appended by the Append helpers.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps buf for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Uvarint reads one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("storage: corrupt uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads one float64.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = fmt.Errorf("storage: truncated float64 at offset %d", d.off)
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,115 @@
+package textrel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vocab"
+)
+
+// The central soundness property behind the candidate-selection pruning:
+// for every keyword subset c ⊆ W with |c| ≤ ws,
+// TS(ox.d ∪ c, u.d) ≤ TSAddUpperBound(ox.d, u.d, W, ws) — under all three
+// measures, including LM where adding keywords shrinks existing weights.
+func TestTSAddUpperBoundDominates(t *testing.T) {
+	ds := dataset.GenerateFlickr(dataset.DefaultFlickrConfig(400))
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: 30, UL: 4, UW: 20, Area: 10, Seed: 9})
+	w := NewCandidateSet(us.Keywords)
+	rng := rand.New(rand.NewSource(4))
+
+	for _, kind := range []MeasureKind{LM, TFIDF, KO} {
+		s := NewScorer(ds, kind, 0.5)
+		norms := s.UserNorms(us.Users)
+		for trial := 0; trial < 300; trial++ {
+			// random base object doc (sometimes empty ox.d)
+			var oxDoc vocab.Doc
+			if rng.Intn(4) > 0 {
+				oxDoc = ds.Objects[rng.Intn(len(ds.Objects))].Doc
+			}
+			ws := 1 + rng.Intn(4)
+			// random candidate subset of size ≤ ws
+			var c []vocab.TermID
+			for _, kw := range us.Keywords {
+				if len(c) < ws && rng.Intn(3) == 0 {
+					c = append(c, kw)
+				}
+			}
+			ui := rng.Intn(len(us.Users))
+			u := &us.Users[ui]
+			ub := s.TSAddUpperBound(oxDoc, u.Doc, norms[ui], w, ws)
+			actual := s.TS(oxDoc.MergeTerms(c), u.Doc, norms[ui])
+			if actual > ub+1e-9 {
+				t.Fatalf("%s trial %d: TS %v exceeds bound %v (|c|=%d ws=%d)",
+					kind, trial, actual, ub, len(c), ws)
+			}
+		}
+	}
+}
+
+func TestTSAddUpperBoundNoCandidates(t *testing.T) {
+	ds, terms := corpus3(t)
+	s := NewScorer(ds, LM, 0.5)
+	ud := vocab.DocFromTerms([]vocab.TermID{terms[0]})
+	norm := s.Norm(ud)
+	oxDoc := ds.Objects[0].Doc
+	// empty candidate set: the bound is just the current TS
+	if got, want := s.TSAddUpperBound(oxDoc, ud, norm, CandidateSet{}, 3), s.TS(oxDoc, ud, norm); !near(got, want) {
+		t.Errorf("bound with no candidates = %v, want plain TS %v", got, want)
+	}
+}
+
+func TestSTSAddUpperBound(t *testing.T) {
+	ds, terms := corpus3(t)
+	s := NewScorer(ds, KO, 0.6)
+	ud := vocab.DocFromTerms([]vocab.TermID{terms[0], terms[2]})
+	norm := s.Norm(ud)
+	w := NewCandidateSet([]vocab.TermID{terms[2]})
+	var empty vocab.Doc
+	// TS bound: term c addable with weight 1 → (0+1)/2 = 0.5
+	got := s.STSAddUpperBound(0.8, empty, ud, norm, w, 1)
+	want := 0.6*0.8 + 0.4*0.5
+	if !near(got, want) {
+		t.Errorf("STSAddUpperBound = %v, want %v", got, want)
+	}
+}
+
+func TestTopWeightedCandidates(t *testing.T) {
+	ds, terms := corpus3(t)
+	a, b, c := terms[0], terms[1], terms[2]
+	s := NewScorer(ds, TFIDF, 0.5)
+	ud := vocab.DocFromTerms([]vocab.TermID{a, b, c})
+	w := NewCandidateSet([]vocab.TermID{a, b, c})
+	var empty vocab.Doc
+
+	// idf(c)=ln3 > idf(a)=idf(b)=ln1.5; top-2 must start with c.
+	got := s.TopWeightedCandidates(empty, ud, w, 2, 0, false)
+	if len(got) != 2 || got[0] != c {
+		t.Fatalf("top-2 = %v, want [c, …]", got)
+	}
+
+	// forced include takes a slot and leads
+	got = s.TopWeightedCandidates(empty, ud, w, 2, a, true)
+	if len(got) != 2 || got[0] != a || got[1] != c {
+		t.Fatalf("forced top-2 = %v, want [a c]", got)
+	}
+
+	// ws larger than the intersection: all of it
+	got = s.TopWeightedCandidates(empty, ud, w, 10, 0, false)
+	if len(got) != 3 {
+		t.Fatalf("top-10 = %v, want all 3", got)
+	}
+
+	// no candidate overlap: empty
+	other := NewCandidateSet([]vocab.TermID{vocab.TermID(99)})
+	if got := s.TopWeightedCandidates(empty, ud, other, 2, 0, false); len(got) != 0 {
+		t.Fatalf("disjoint candidates = %v, want empty", got)
+	}
+}
+
+func TestNewCandidateSet(t *testing.T) {
+	cs := NewCandidateSet([]vocab.TermID{1, 2, 2})
+	if len(cs) != 2 || !cs[1] || !cs[2] || cs[3] {
+		t.Errorf("candidate set = %v", cs)
+	}
+}

@@ -1,0 +1,198 @@
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/dataset"
+	"repro/internal/irtree"
+	"repro/internal/textrel"
+)
+
+// BoundedObject is an object retrieved by the joint traversal together
+// with its lower and upper bound scores w.r.t. the super-user — the
+// entries of the LO and RO queues of Algorithm 1.
+type BoundedObject struct {
+	ObjID  int32
+	LB, UB float64
+}
+
+// TraversalResult is the outcome of Algorithm 1: every object that can be
+// a top-k object of at least one user in the group, with RSkSuper — the
+// k-th best lower bound (RSk(us)).
+type TraversalResult struct {
+	// LO holds the k objects with the best lower bounds.
+	LO []BoundedObject
+	// RO holds the remaining candidates, sorted by descending upper bound.
+	RO []BoundedObject
+	// RSkSuper is RSk(us); −MaxFloat64 when fewer than k objects exist.
+	RSkSuper float64
+}
+
+// Candidates returns LO followed by RO.
+func (r *TraversalResult) Candidates() []BoundedObject {
+	out := make([]BoundedObject, 0, len(r.LO)+len(r.RO))
+	out = append(out, r.LO...)
+	out = append(out, r.RO...)
+	return out
+}
+
+// Traverse implements Algorithm 1: a single best-first MIR-tree traversal
+// for the super-user that visits each node at most once, pruning every
+// subtree whose upper bound cannot reach RSk(us). tree must be built over
+// the dataset the users were generated against.
+func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*TraversalResult, error) {
+	res := &TraversalResult{RSkSuper: -math.MaxFloat64}
+	if tree.RootID() < 0 || su.NumUsers == 0 {
+		return res, nil
+	}
+
+	type cand struct {
+		ref    int32
+		isNode bool
+		ub     float64
+	}
+	// PQ is keyed by the lower bound (descending), per Section 5.4: objects
+	// with the best lower bounds surface early, which tightens RSk(us).
+	pq := container.NewMaxHeap[cand]()
+	pq.Push(cand{tree.RootID(), true, math.MaxFloat64}, math.MaxFloat64)
+
+	lo := container.NewTopK[BoundedObject](k)
+	roHeap := container.NewMaxHeap[BoundedObject]()
+	model := tree.Model()
+
+	for pq.Len() > 0 {
+		c, lb := pq.Pop()
+		if !c.isNode {
+			obj := BoundedObject{ObjID: c.ref, LB: lb, UB: c.ub}
+			if !lo.Full() {
+				lo.Offer(obj, obj.LB)
+				if lo.Full() {
+					res.RSkSuper = lo.Threshold()
+				}
+				continue
+			}
+			if obj.UB < res.RSkSuper {
+				continue // cannot be a top-k object of any user
+			}
+			evicted, _, wasEvicted := lo.Offer(obj, obj.LB)
+			res.RSkSuper = lo.Threshold()
+			if !wasEvicted {
+				// obj itself did not enter LO; it is its own "evicted".
+				evicted = obj
+			}
+			if evicted.UB >= res.RSkSuper {
+				roHeap.Push(evicted, evicted.UB)
+			}
+			continue
+		}
+
+		// Node: prune unless it may contain a top-k object of some user.
+		if lo.Full() && c.ub < res.RSkSuper {
+			continue
+		}
+		node, err := tree.ReadNode(c.ref)
+		if err != nil {
+			return nil, err
+		}
+		inv, err := tree.ReadInvFile(node)
+		if err != nil {
+			return nil, err
+		}
+		maxSums := irtree.MaxTextSums(model, inv, len(node.Entries), su.Uni)
+		minSums := irtree.MinTextSums(model, inv, len(node.Entries), su.Int)
+		for i, e := range node.Entries {
+			ub := scorer.Alpha*scorer.SSMax(e.Rect, su.MBR) + (1-scorer.Alpha)*su.UBText(maxSums[i])
+			if lo.Full() && ub < res.RSkSuper {
+				continue
+			}
+			entryLB := scorer.Alpha*scorer.SSMin(e.Rect, su.MBR) + (1-scorer.Alpha)*su.LBText(minSums[i])
+			pq.Push(cand{e.Child, !node.Leaf, ub}, entryLB)
+		}
+	}
+
+	res.LO = lo.PopAscending()
+	for roHeap.Len() > 0 {
+		o, _ := roHeap.Pop()
+		res.RO = append(res.RO, o) // descending UB
+	}
+	return res, nil
+}
+
+// UserTopK is the per-user outcome of the joint processing.
+type UserTopK struct {
+	// Results holds the top-k objects in descending score order.
+	Results []irtree.Result
+	// RSk is the score of the k-th ranked object (−MaxFloat64 when fewer
+	// than k objects exist) — the threshold every MaxBRSTkNN candidate
+	// must beat for this user.
+	RSk float64
+}
+
+// IndividualTopK implements Algorithm 2: computes each user's exact top-k
+// from the candidate objects of a traversal. cands must contain LO (any
+// order) and RO sorted by descending upper bound, as produced by Traverse.
+func IndividualTopK(ds *dataset.Dataset, scorer *textrel.Scorer, users []dataset.User, norms []float64, tr *TraversalResult, k int) []UserTopK {
+	out := make([]UserTopK, len(users))
+	for ui := range users {
+		u := &users[ui]
+		hu := container.NewTopK[irtree.Result](k)
+		for _, o := range tr.LO {
+			obj := &ds.Objects[o.ObjID]
+			s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norms[ui])
+			hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s)
+		}
+		rsk := hu.Threshold()
+		for _, o := range tr.RO {
+			if o.UB < rsk {
+				break // RO is descending in UB: nothing later can qualify
+			}
+			obj := &ds.Objects[o.ObjID]
+			s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norms[ui])
+			if s >= rsk {
+				hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s)
+				rsk = hu.Threshold()
+			}
+		}
+		results := hu.PopAscending()
+		sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+		out[ui] = UserTopK{Results: results, RSk: rsk}
+	}
+	return out
+}
+
+// JointResult bundles everything the joint processing yields.
+type JointResult struct {
+	Super   SuperUser
+	PerUser []UserTopK
+	Trav    *TraversalResult
+	Norms   []float64
+}
+
+// JointTopK runs the full Section 5 pipeline: build the super-user,
+// traverse once (Algorithm 1), then refine per user (Algorithm 2).
+func JointTopK(tree *irtree.Tree, scorer *textrel.Scorer, users []dataset.User, k int) (*JointResult, error) {
+	su := BuildSuperUser(users, scorer)
+	tr, err := Traverse(tree, scorer, su, k)
+	if err != nil {
+		return nil, err
+	}
+	norms := scorer.UserNorms(users)
+	per := IndividualTopK(tree.Dataset(), scorer, users, norms, tr, k)
+	return &JointResult{Super: su, PerUser: per, Trav: tr, Norms: norms}, nil
+}
+
+// BaselineTopK computes each user's top-k independently with the IR-tree
+// search of Section 4 — the comparison point for every figure's "B" series.
+func BaselineTopK(tree *irtree.Tree, scorer *textrel.Scorer, users []dataset.User, k int) ([]UserTopK, error) {
+	out := make([]UserTopK, len(users))
+	for ui := range users {
+		results, rsk, err := tree.TopK(scorer, irtree.ViewOf(&users[ui], scorer), k)
+		if err != nil {
+			return nil, err
+		}
+		out[ui] = UserTopK{Results: results, RSk: rsk}
+	}
+	return out, nil
+}

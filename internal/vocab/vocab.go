@@ -1,0 +1,214 @@
+// Package vocab maps terms (keywords) to dense integer identifiers and
+// provides the document representation shared by objects and users. Every
+// text description in the paper — an object's o.d, a user's u.d, a node's
+// pseudo-document, and the candidate keyword set W — is a Doc or a set of
+// TermIDs from one Vocabulary.
+package vocab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermID identifies a term within one Vocabulary. IDs are dense, starting
+// at zero, so they can index slices and bitsets directly.
+type TermID int32
+
+// Vocabulary assigns dense TermIDs to terms. The zero value is not usable;
+// construct with New.
+type Vocabulary struct {
+	byTerm map[string]TermID
+	terms  []string
+}
+
+// New returns an empty Vocabulary.
+func New() *Vocabulary {
+	return &Vocabulary{byTerm: make(map[string]TermID)}
+}
+
+// Add returns the TermID for term, assigning a new one on first sight.
+func (v *Vocabulary) Add(term string) TermID {
+	if id, ok := v.byTerm[term]; ok {
+		return id
+	}
+	id := TermID(len(v.terms))
+	v.byTerm[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the TermID for term and whether it is known.
+func (v *Vocabulary) Lookup(term string) (TermID, bool) {
+	id, ok := v.byTerm[term]
+	return id, ok
+}
+
+// MustLookup returns the TermID for term, panicking when unknown. For
+// tests and fixtures where absence is a programming error.
+func (v *Vocabulary) MustLookup(term string) TermID {
+	id, ok := v.byTerm[term]
+	if !ok {
+		panic(fmt.Sprintf("vocab: unknown term %q", term))
+	}
+	return id
+}
+
+// Term returns the string for id. It panics on an unknown id.
+func (v *Vocabulary) Term(id TermID) string {
+	if int(id) < 0 || int(id) >= len(v.terms) {
+		panic(fmt.Sprintf("vocab: unknown term id %d", id))
+	}
+	return v.terms[id]
+}
+
+// Size returns the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// Doc is a bag of terms: sorted unique TermIDs with positive frequencies.
+// The zero value is the empty document.
+type Doc struct {
+	terms []TermID
+	freqs []int32
+	total int64 // sum of freqs, the |d| of Equation 3
+}
+
+// NewDoc builds a Doc from a term-frequency map.
+func NewDoc(tf map[TermID]int32) Doc {
+	terms := make([]TermID, 0, len(tf))
+	for t, f := range tf {
+		if f > 0 {
+			terms = append(terms, t)
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	freqs := make([]int32, len(terms))
+	var total int64
+	for i, t := range terms {
+		freqs[i] = tf[t]
+		total += int64(tf[t])
+	}
+	return Doc{terms: terms, freqs: freqs, total: total}
+}
+
+// DocFromTerms builds a Doc where each listed term has frequency 1
+// (duplicates accumulate).
+func DocFromTerms(terms []TermID) Doc {
+	tf := make(map[TermID]int32, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	return NewDoc(tf)
+}
+
+// Unique returns the number of distinct terms.
+func (d Doc) Unique() int { return len(d.terms) }
+
+// Len returns the total number of term occurrences (|d| in Equation 3).
+func (d Doc) Len() int64 { return d.total }
+
+// IsEmpty reports whether the document has no terms.
+func (d Doc) IsEmpty() bool { return len(d.terms) == 0 }
+
+// Freq returns the frequency of term t (zero when absent).
+func (d Doc) Freq(t TermID) int32 {
+	i := sort.Search(len(d.terms), func(i int) bool { return d.terms[i] >= t })
+	if i < len(d.terms) && d.terms[i] == t {
+		return d.freqs[i]
+	}
+	return 0
+}
+
+// Has reports whether term t occurs in the document.
+func (d Doc) Has(t TermID) bool { return d.Freq(t) > 0 }
+
+// Terms returns the distinct terms in ascending order. The returned slice
+// must not be modified.
+func (d Doc) Terms() []TermID { return d.terms }
+
+// ForEach calls fn with every (term, freq) pair in ascending term order.
+func (d Doc) ForEach(fn func(t TermID, f int32)) {
+	for i, t := range d.terms {
+		fn(t, d.freqs[i])
+	}
+}
+
+// Overlaps reports whether d and other share at least one term — the
+// relevance predicate "o.d contains at least one term t ∈ u.d".
+func (d Doc) Overlaps(other Doc) bool {
+	i, j := 0, 0
+	for i < len(d.terms) && j < len(other.terms) {
+		switch {
+		case d.terms[i] < other.terms[j]:
+			i++
+		case d.terms[i] > other.terms[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapCount returns the number of distinct shared terms |d ∩ other|,
+// the numerator of the Keyword Overlap measure.
+func (d Doc) OverlapCount(other Doc) int {
+	i, j, n := 0, 0, 0
+	for i < len(d.terms) && j < len(other.terms) {
+		switch {
+		case d.terms[i] < other.terms[j]:
+			i++
+		case d.terms[i] > other.terms[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// MergeTerms returns a new Doc equal to d with each term of add inserted at
+// frequency 1 if absent (existing frequencies are retained). This models
+// "ox.d ∪ W'" from Definition 1: candidate keywords extend the object's
+// existing text description.
+func (d Doc) MergeTerms(add []TermID) Doc {
+	tf := make(map[TermID]int32, len(d.terms)+len(add))
+	for i, t := range d.terms {
+		tf[t] = d.freqs[i]
+	}
+	for _, t := range add {
+		if _, ok := tf[t]; !ok {
+			tf[t] = 1
+		}
+	}
+	return NewDoc(tf)
+}
+
+// Union returns the multiset-max union used for pseudo-documents: each
+// term's frequency is the maximum of its frequencies in d and other.
+func (d Doc) Union(other Doc) Doc {
+	tf := make(map[TermID]int32, len(d.terms)+len(other.terms))
+	for i, t := range d.terms {
+		tf[t] = d.freqs[i]
+	}
+	for i, t := range other.terms {
+		if f := other.freqs[i]; f > tf[t] {
+			tf[t] = f
+		}
+	}
+	return NewDoc(tf)
+}
+
+// Equal reports whether two documents have identical terms and frequencies.
+func (d Doc) Equal(other Doc) bool {
+	if len(d.terms) != len(other.terms) {
+		return false
+	}
+	for i := range d.terms {
+		if d.terms[i] != other.terms[i] || d.freqs[i] != other.freqs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+// Package maxbrstknn is an open-source reproduction of "Maximizing
+// Bichromatic Reverse Spatial and Textual k Nearest Neighbor Queries"
+// (Choudhury, Culpepper, Sellis, Cao — PVLDB 9(6), 2016).
+//
+// Given a set of objects (facilities, advertisements, businesses) and a
+// set of users, each with a location and keywords, a MaxBRSTkNN query
+// finds the location ℓ (from candidates L) and keyword set W' (at most ws
+// keywords from candidates W) that maximize the number of users who would
+// rank a new object placed at ℓ with text W' among their top-k most
+// spatial-textually relevant objects.
+//
+// # Quick start
+//
+//	b := maxbrstknn.NewBuilder()
+//	b.AddObject(1.0, 1.0, "sushi")
+//	b.AddObject(4.0, 2.0, "noodles")
+//	idx, _ := b.Build(maxbrstknn.Options{})
+//
+//	users := []maxbrstknn.UserSpec{
+//		{X: 0.5, Y: 0.5, Keywords: []string{"sushi", "seafood"}},
+//		{X: 3.0, Y: 2.0, Keywords: []string{"noodles"}},
+//	}
+//	res, _ := idx.MaxBRSTkNN(maxbrstknn.Request{
+//		Users:       users,
+//		Locations:   [][2]float64{{1.5, 1.0}, {3.5, 2.0}},
+//		Keywords:    []string{"sushi", "seafood", "noodles"},
+//		MaxKeywords: 1,
+//		K:           1,
+//	})
+//	fmt.Println(res.Location, res.Keywords, res.UserIDs)
+//
+// The package wraps the internal reproduction: IR-tree / MIR-tree object
+// indexes with simulated 4 kB-page I/O accounting, the joint top-k
+// processing of Section 5, the exact and greedy candidate selection of
+// Section 6, and the MIUR-tree user index of Section 7.
+package maxbrstknn
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/irtree"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// Measure selects the text relevance model of Section 3.
+type Measure int
+
+// Available text relevance measures.
+const (
+	// LanguageModel is Jelinek–Mercer smoothed LM (the paper's default).
+	LanguageModel Measure = iota
+	// TFIDF weighs terms by term frequency × inverse document frequency.
+	TFIDF
+	// KeywordOverlap scores |u.d ∩ o.d| / |u.d|.
+	KeywordOverlap
+	// BM25Measure is Okapi BM25 — an extension beyond the paper's three
+	// measures demonstrating its "any text-based relevance" claim.
+	BM25Measure
+)
+
+func (m Measure) kind() textrel.MeasureKind {
+	switch m {
+	case TFIDF:
+		return textrel.TFIDF
+	case KeywordOverlap:
+		return textrel.KO
+	case BM25Measure:
+		return textrel.BM25
+	default:
+		return textrel.LM
+	}
+}
+
+// Options configures index construction.
+type Options struct {
+	// Measure is the text relevance model (default LanguageModel).
+	Measure Measure
+	// Alpha balances spatial vs textual relevance in Equation 1
+	// (default 0.5). Zero means "use default"; pass ExplicitAlpha to force
+	// a literal 0.
+	Alpha float64
+	// ExplicitAlpha forces Alpha to be used verbatim even when zero.
+	ExplicitAlpha bool
+	// Fanout is the R-tree node capacity (default 32).
+	Fanout int
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha == 0 && !o.ExplicitAlpha {
+		return 0.5
+	}
+	return o.Alpha
+}
+
+func (o Options) fanout() int {
+	if o.Fanout == 0 {
+		return 32
+	}
+	return o.Fanout
+}
+
+// Builder accumulates objects before index construction.
+type Builder struct {
+	vocab   *vocab.Vocabulary
+	objects []dataset.Object
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{vocab: vocab.New()}
+}
+
+// AddObject registers one object and returns its id. Duplicate keywords
+// raise the term's frequency, as repeated words in a review would.
+func (b *Builder) AddObject(x, y float64, keywords ...string) int {
+	id := int32(len(b.objects))
+	terms := make([]vocab.TermID, len(keywords))
+	for i, kw := range keywords {
+		terms[i] = b.vocab.Add(kw)
+	}
+	b.objects = append(b.objects, dataset.Object{
+		ID:  id,
+		Loc: geo.Point{X: x, Y: y},
+		Doc: vocab.DocFromTerms(terms),
+	})
+	return int(id)
+}
+
+// Len returns the number of objects added so far.
+func (b *Builder) Len() int { return len(b.objects) }
+
+// Build constructs the spatial-textual index. The Builder can keep adding
+// objects afterwards, but they will not appear in this Index.
+func (b *Builder) Build(opts Options) (*Index, error) {
+	if len(b.objects) == 0 {
+		return nil, fmt.Errorf("maxbrstknn: no objects added")
+	}
+	objects := append([]dataset.Object(nil), b.objects...)
+	ds := dataset.Build(objects, b.vocab)
+	model := textrel.NewModel(opts.Measure.kind(), ds)
+	mir := irtree.Build(ds, model, irtree.Config{Kind: irtree.MIRTree, Fanout: opts.fanout()})
+	return &Index{ds: ds, opts: opts, model: model, mir: mir}, nil
+}
+
+// Index is an immutable spatial-textual object index that answers top-k
+// and MaxBRSTkNN queries. The stored term weights depend only on the
+// measure; the distance normalization (dmax of Equation 2) is derived per
+// query so it covers the query's users and candidate locations.
+type Index struct {
+	ds    *dataset.Dataset
+	opts  Options
+	model textrel.Model
+	mir   *irtree.Tree
+}
+
+// scorerFor builds a scorer whose dmax covers the given extra rectangles.
+func (ix *Index) scorerFor(extra ...geo.Rect) *textrel.Scorer {
+	return &textrel.Scorer{Model: ix.model, Alpha: ix.opts.alpha(), DMax: ix.ds.DMax(extra...)}
+}
+
+// NumObjects returns the number of indexed objects.
+func (ix *Index) NumObjects() int { return len(ix.ds.Objects) }
+
+// AddObject inserts one object into the live index (incremental
+// maintenance, Section 5.1). Term weights use the corpus statistics frozen
+// at Build time — the standard IR practice; rebuild periodically to
+// refresh statistics. Returns the new object's id.
+func (ix *Index) AddObject(x, y float64, keywords ...string) (int, error) {
+	terms := make([]vocab.TermID, len(keywords))
+	for i, kw := range keywords {
+		terms[i] = ix.ds.Vocab.Add(kw)
+	}
+	id := int32(len(ix.ds.Objects))
+	err := ix.mir.Insert(dataset.Object{
+		ID:  id,
+		Loc: geo.Point{X: x, Y: y},
+		Doc: vocab.DocFromTerms(terms),
+	})
+	return int(id), err
+}
+
+// SimulatedIO returns the cumulative simulated I/O count (Section 8 cost
+// model: one per node visit plus one per 4 kB inverted-file block).
+func (ix *Index) SimulatedIO() int64 { return ix.mir.IO().Total() }
+
+// ResetIO zeroes the simulated I/O counter (a cold-query boundary).
+func (ix *Index) ResetIO() { ix.mir.IO().Reset() }
+
+// RankedObject is one result of a top-k query.
+type RankedObject struct {
+	ObjectID int
+	Score    float64
+}
+
+// TopK returns the k most spatial-textually relevant objects for a user at
+// (x, y) with the given preference keywords.
+func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("maxbrstknn: k must be positive")
+	}
+	scorer := ix.scorerFor(geo.RectFromPoint(geo.Point{X: x, Y: y}))
+	doc := ix.docFromKeywords(keywords)
+	view := irtree.UserView{
+		Area:  geo.RectFromPoint(geo.Point{X: x, Y: y}),
+		Terms: doc.Terms(),
+		Norm:  scorer.Norm(doc),
+	}
+	results, _, err := ix.mir.TopK(scorer, view, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedObject, len(results))
+	for i, r := range results {
+		out[i] = RankedObject{ObjectID: int(r.ObjID), Score: r.Score}
+	}
+	return out, nil
+}
+
+// docFromKeywords maps known keywords to a document; unknown keywords are
+// assigned fresh ids (they simply never match any object).
+func (ix *Index) docFromKeywords(keywords []string) vocab.Doc {
+	terms := make([]vocab.TermID, 0, len(keywords))
+	for _, kw := range keywords {
+		if id, ok := ix.ds.Vocab.Lookup(kw); ok {
+			terms = append(terms, id)
+		} else {
+			terms = append(terms, vocab.TermID(ix.ds.Vocab.Size()+1000+len(terms)))
+		}
+	}
+	return vocab.DocFromTerms(terms)
+}

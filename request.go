@@ -1,0 +1,249 @@
+package maxbrstknn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/miurtree"
+	"repro/internal/topk"
+	"repro/internal/vocab"
+)
+
+// UserSpec describes one user of the bichromatic dataset.
+type UserSpec struct {
+	X, Y     float64
+	Keywords []string
+}
+
+// Strategy selects the MaxBRSTkNN processing strategy.
+type Strategy int
+
+// Available strategies, in increasing sophistication.
+const (
+	// Exact runs Algorithm 3 with the exact keyword selection of
+	// Algorithm 4 (the default).
+	Exact Strategy = iota
+	// Approx runs Algorithm 3 with the (1−1/e) greedy maximum-coverage
+	// keyword selection — typically orders of magnitude faster.
+	Approx
+	// Exhaustive is the Section 4 baseline: every 〈location, combination〉
+	// tuple is evaluated. Exponential in MaxKeywords; for testing only.
+	Exhaustive
+	// UserIndexed is the Section 7 method: users are indexed in a
+	// MIUR-tree and top-k thresholds are computed only for users that
+	// survive the hierarchical pruning. Uses exact keyword selection.
+	UserIndexed
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Approx:
+		return "approx"
+	case Exhaustive:
+		return "exhaustive"
+	case UserIndexed:
+		return "user-indexed"
+	default:
+		return "exact"
+	}
+}
+
+// Request is a MaxBRSTkNN query q(ox, L, W, ws, k) plus the user set.
+type Request struct {
+	// Users is the user set U.
+	Users []UserSpec
+	// Locations is the candidate location set L.
+	Locations [][2]float64
+	// Keywords is the candidate keyword set W.
+	Keywords []string
+	// MaxKeywords is ws, the maximum number of keywords to select.
+	MaxKeywords int
+	// K is the top-k depth.
+	K int
+	// ExistingKeywords is ox's existing text description (optional).
+	ExistingKeywords []string
+	// Strategy selects the processing method (default Exact).
+	Strategy Strategy
+}
+
+// Result is a MaxBRSTkNN answer.
+type Result struct {
+	// Location is the selected candidate location (index and coordinates).
+	LocationIndex int
+	Location      [2]float64
+	// Keywords is the selected W' (≤ MaxKeywords strings).
+	Keywords []string
+	// UserIDs are the indexes into Request.Users of the BRSTkNN users.
+	UserIDs []int
+	// Stats carries the Section 7 pruning statistics when the
+	// UserIndexed strategy ran; zero otherwise.
+	Stats PruningStats
+}
+
+// Count returns the maximized |BRSTkNN|.
+func (r Result) Count() int { return len(r.UserIDs) }
+
+// PruningStats reports the user-index pruning of Section 7.
+type PruningStats struct {
+	TotalUsers    int
+	ResolvedUsers int
+	PrunedPercent float64
+}
+
+// MaxBRSTkNN answers the query. The heavy phase-1 work (each user's RSk
+// threshold) runs inside; to amortize it across many candidate sets, use
+// Session.
+func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
+	s, err := ix.NewSession(req.Users, req.K)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(req)
+}
+
+// Session holds the prepared per-user thresholds for one user set and one
+// k, so several MaxBRSTkNN requests (different L, W, ws) can share the
+// joint top-k computation — the expensive phase the paper optimizes.
+type Session struct {
+	ix     *Index
+	users  []dataset.User
+	k      int
+	engine *core.Engine
+}
+
+// NewSession precomputes the thresholds for the user set via the joint
+// top-k processing of Section 5.
+func (ix *Index) NewSession(users []UserSpec, k int) (*Session, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("maxbrstknn: at least one user required")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("maxbrstknn: k must be positive")
+	}
+	dsUsers := make([]dataset.User, len(users))
+	for i, u := range users {
+		dsUsers[i] = dataset.User{
+			ID:  int32(i),
+			Loc: geo.Point{X: u.X, Y: u.Y},
+			Doc: ix.docFromKeywords(u.Keywords),
+		}
+	}
+	scorer := ix.scorerFor(dataset.UsersMBR(dsUsers))
+	engine := core.NewEngine(ix.mir, scorer, dsUsers)
+	if err := engine.PrepareJoint(k); err != nil {
+		return nil, err
+	}
+	return &Session{ix: ix, users: dsUsers, k: k, engine: engine}, nil
+}
+
+// Thresholds returns the prepared k-th score threshold of each user —
+// RSk(u), the bar a new object must clear to enter the user's top-k.
+func (s *Session) Thresholds() []float64 {
+	return append([]float64(nil), s.engine.RSk()...)
+}
+
+// Run answers one request against the session's prepared user set. The
+// request's Users field is ignored (the session's users apply); K must
+// match the session.
+func (s *Session) Run(req Request) (Result, error) {
+	if req.K != s.k {
+		return Result{}, fmt.Errorf("maxbrstknn: request k=%d differs from session k=%d", req.K, s.k)
+	}
+	q, err := s.buildQuery(req)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var sel core.Selection
+	var stats core.UserIndexStats
+	switch req.Strategy {
+	case Exhaustive:
+		sel, err = s.engine.Baseline(q)
+	case Approx:
+		sel, err = s.engine.Select(q, core.KeywordsApprox)
+	case UserIndexed:
+		scorer := s.engine.Scorer
+		ut := miurtree.Build(s.users, scorer, s.ix.opts.fanout())
+		engine := core.NewEngine(s.ix.mir, scorer, s.users)
+		sel, stats, err = engine.SelectUserIndexed(q, core.KeywordsExact, ut)
+	default:
+		sel, err = s.engine.Select(q, core.KeywordsExact)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return s.buildResult(req, sel, stats), nil
+}
+
+func (s *Session) buildQuery(req Request) (core.Query, error) {
+	locs := make([]geo.Point, len(req.Locations))
+	for i, l := range req.Locations {
+		locs[i] = geo.Point{X: l[0], Y: l[1]}
+	}
+	kws := make([]vocab.TermID, 0, len(req.Keywords))
+	for _, kw := range req.Keywords {
+		if id, ok := s.ix.ds.Vocab.Lookup(kw); ok {
+			kws = append(kws, id)
+		}
+		// unknown candidate keywords can never improve any user's score:
+		// no user document contains them (users are mapped through the
+		// same vocabulary), so they are dropped up front
+	}
+	ws := req.MaxKeywords
+	if ws > len(kws) {
+		ws = len(kws)
+	}
+	q := core.Query{
+		OxDoc:     s.ix.docFromKeywords(req.ExistingKeywords),
+		Locations: locs,
+		Keywords:  kws,
+		WS:        ws,
+		K:         req.K,
+	}
+	return q, q.Validate()
+}
+
+func (s *Session) buildResult(req Request, sel core.Selection, stats core.UserIndexStats) Result {
+	res := Result{LocationIndex: sel.LocIndex}
+	if sel.LocIndex >= 0 {
+		res.Location = req.Locations[sel.LocIndex]
+	} else {
+		res.LocationIndex = -1
+	}
+	for _, t := range sel.Keywords {
+		res.Keywords = append(res.Keywords, s.ix.ds.Vocab.Term(t))
+	}
+	for _, uid := range sel.Users {
+		res.UserIDs = append(res.UserIDs, int(uid))
+	}
+	if stats.TotalUsers > 0 {
+		res.Stats = PruningStats{
+			TotalUsers:    stats.TotalUsers,
+			ResolvedUsers: stats.ResolvedUsers,
+			PrunedPercent: stats.PrunedPercent(),
+		}
+	}
+	return res
+}
+
+// JointTopKAll computes every session user's top-k objects with one shared
+// traversal (Section 5) — exposed because the joint computation is, as the
+// paper notes, of independent interest.
+func (s *Session) JointTopKAll() ([][]RankedObject, error) {
+	res, err := topk.JointTopK(s.ix.mir, s.engine.Scorer, s.users, s.k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]RankedObject, len(res.PerUser))
+	for i, p := range res.PerUser {
+		rs := make([]RankedObject, len(p.Results))
+		for j, r := range p.Results {
+			rs[j] = RankedObject{ObjectID: int(r.ObjID), Score: r.Score}
+		}
+		out[i] = rs
+	}
+	return out, nil
+}
