@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel query engine is gated on a clean race run.
+race:
+	$(GO) test -race ./...
+
+# Short benchmark smoke: every benchmark must at least run once.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet race bench

@@ -328,6 +328,52 @@ func BenchmarkAblationNoBestFirst(b *testing.B) {
 	}
 }
 
+// benchPrepareJointParallel measures phase 1 (threshold preparation) on
+// the parallel engine at a given worker count; Groups defaults to one
+// spatial group per worker.
+func benchPrepareJointParallel(b *testing.B, workers int) {
+	w := benchWorkload(b)
+	e := core.NewEngine(w.MIR, w.Scorer, w.US.Users)
+	opts := core.ParallelOptions{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PrepareJointParallel(w.Cfg.K, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling_PrepareJointW* is the speedup-vs-workers series of the
+// scaling figure (run with -bench=Scaling_PrepareJoint and compare W1 to
+// W4). On a single-core machine the speedup comes from the tighter
+// per-group super-user bounds alone; on multicore the group traversals
+// and per-user refinements additionally run concurrently.
+func BenchmarkScaling_PrepareJointW1(b *testing.B) { benchPrepareJointParallel(b, 1) }
+func BenchmarkScaling_PrepareJointW2(b *testing.B) { benchPrepareJointParallel(b, 2) }
+func BenchmarkScaling_PrepareJointW4(b *testing.B) { benchPrepareJointParallel(b, 4) }
+func BenchmarkScaling_PrepareJointW8(b *testing.B) { benchPrepareJointParallel(b, 8) }
+
+// benchSelectParallel measures phase 2 (exact candidate selection) on the
+// parallel engine at a given worker count.
+func benchSelectParallel(b *testing.B, workers int) {
+	w := benchWorkload(b)
+	e := preparedEngine(b, w)
+	q := w.Query()
+	opts := core.ParallelOptions{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SelectParallel(q, core.KeywordsExact, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling_SelectExactW* is the phase-2 half of the scaling
+// figure: candidate locations and keyword-combination chunks fan out over
+// the worker pool.
+func BenchmarkScaling_SelectExactW1(b *testing.B) { benchSelectParallel(b, 1) }
+func BenchmarkScaling_SelectExactW4(b *testing.B) { benchSelectParallel(b, 4) }
+
 // BenchmarkIndexBuild measures MIR-tree construction (index build cost,
 // discussed in the paper's Section 5.1 cost analysis).
 func BenchmarkIndexBuild(b *testing.B) {

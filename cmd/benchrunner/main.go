@@ -8,9 +8,16 @@
 //	benchrunner -exp fig5,fig10          # selected experiments
 //	benchrunner -exp fig13 -objects 40000
 //	benchrunner -exp table4 -quick       # smoke scale
+//	benchrunner -exp scaling -groups 8   # parallel-engine speedup figure
 //
 // Experiments: table4 table5 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations.
+// fig13 fig14 fig15 ablations scaling.
+//
+// The scaling experiment sweeps the parallel engine over 1/2/4/8 workers;
+// -groups pins the super-user group count across the sweep (default: one
+// group per worker) and -workers overrides the engine parallelism used
+// when regenerating the other figures (0 keeps them sequential, the
+// paper's setting).
 package main
 
 import (
@@ -33,6 +40,8 @@ func main() {
 		runs    = flag.Int("runs", 0, "override user-set repetitions")
 		measure = flag.String("measure", "", "text measure: lm, tfidf, ko")
 		seed    = flag.Int64("seed", 0, "override dataset seed")
+		workers = flag.Int("workers", 0, "parallel engine workers (0 = sequential)")
+		groups  = flag.Int("groups", 0, "super-user groups for the parallel joint phase (0 = one per worker)")
 	)
 	flag.Parse()
 
@@ -51,6 +60,12 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *groups > 0 {
+		cfg.Groups = *groups
 	}
 	switch strings.ToLower(*measure) {
 	case "":
@@ -88,6 +103,7 @@ func main() {
 		{"fig13", func() ([]*experiments.Table, error) { return experiments.Fig13(cfg, nil) }},
 		{"fig14", func() ([]*experiments.Table, error) { return experiments.Fig14(cfg, nil) }},
 		{"fig15", func() ([]*experiments.Table, error) { return experiments.Fig15(cfg, nil) }},
+		{"scaling", func() ([]*experiments.Table, error) { return experiments.FigScaling(cfg) }},
 		{"ablations", func() ([]*experiments.Table, error) {
 			var out []*experiments.Table
 			for _, fn := range []func(experiments.Config) (*experiments.Table, error){

@@ -1,0 +1,91 @@
+package container
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestStableTopKOrderIndependence(t *testing.T) {
+	type item struct {
+		score float64
+		id    int64
+	}
+	rng := rand.New(rand.NewSource(7))
+	items := make([]item, 60)
+	for i := range items {
+		// Few distinct scores so ties are common.
+		items[i] = item{score: float64(rng.Intn(5)), id: int64(i)}
+	}
+	want := func() []int64 {
+		sorted := append([]item(nil), items...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].score != sorted[j].score {
+				return sorted[i].score > sorted[j].score
+			}
+			return sorted[i].id < sorted[j].id
+		})
+		ids := make([]int64, 10)
+		for i := 0; i < 10; i++ {
+			ids[i] = sorted[i].id
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}()
+
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]item(nil), items...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		tk := NewStableTopK[int64](10)
+		for _, it := range shuffled {
+			tk.Offer(it.id, it.score, it.id)
+		}
+		got := tk.PopAscending()
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: membership differs: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestStableTopKThreshold(t *testing.T) {
+	tk := NewStableTopK[string](2)
+	if tk.Threshold() != math.Inf(-1) && tk.Threshold() > -1e308 {
+		t.Fatalf("empty threshold = %v", tk.Threshold())
+	}
+	tk.Offer("a", 3, 1)
+	if tk.Full() {
+		t.Fatal("full with 1 of 2")
+	}
+	tk.Offer("b", 5, 2)
+	if got := tk.Threshold(); got != 3 {
+		t.Fatalf("threshold = %v, want 3", got)
+	}
+	tk.Offer("c", 4, 3)
+	if got := tk.Threshold(); got != 4 {
+		t.Fatalf("threshold after eviction = %v, want 4", got)
+	}
+}
+
+func TestStableTopKPopAscending(t *testing.T) {
+	tk := NewStableTopK[int64](3)
+	for _, id := range []int64{5, 1, 9, 3} {
+		tk.Offer(id, 1.0, id) // all scores tie: smallest ids win
+	}
+	got := tk.PopAscending()
+	want := []int64{5, 3, 1} // worst (largest id) first
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

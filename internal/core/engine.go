@@ -39,19 +39,10 @@ func NewEngine(tree *irtree.Tree, scorer *textrel.Scorer, users []dataset.User) 
 }
 
 // PrepareJoint runs the joint top-k processing of Section 5 (Algorithms 1
-// and 2) to obtain RSk(u) for every user with shared I/O.
+// and 2) to obtain RSk(u) for every user with shared I/O. It is the
+// sequential special case of PrepareJointParallel.
 func (e *Engine) PrepareJoint(k int) error {
-	res, err := topk.JointTopK(e.Tree, e.Scorer, e.Users, k)
-	if err != nil {
-		return err
-	}
-	e.rsk = make([]float64, len(e.Users))
-	for i, p := range res.PerUser {
-		e.rsk[i] = p.RSk
-	}
-	e.rskSuper = res.Trav.RSkSuper
-	e.preparedK = k
-	return nil
+	return e.PrepareJointParallel(k, ParallelOptions{})
 }
 
 // PrepareBaseline computes RSk(u) per user with independent IR-tree
@@ -66,17 +57,7 @@ func (e *Engine) PrepareBaseline(k int) error {
 	for i, p := range res {
 		e.rsk[i] = p.RSk
 	}
-	// The super-user threshold is the k-th best lower bound over the
-	// group; derive a safe equivalent as the minimum per-user threshold.
-	e.rskSuper = e.rsk[0]
-	for _, v := range e.rsk[1:] {
-		if v < e.rskSuper {
-			e.rskSuper = v
-		}
-	}
-	if len(e.rsk) == 0 {
-		e.rskSuper = 0
-	}
+	e.rskSuper = minThreshold(e.rsk)
 	e.preparedK = k
 	return nil
 }
@@ -134,9 +115,4 @@ func (e *Engine) allUserIndexes() []int {
 		out[i] = i
 	}
 	return out
-}
-
-// textrelCandidateSet caches the candidate keyword set as a textrel set.
-func textrelCandidateSet(q Query) textrel.CandidateSet {
-	return textrel.NewCandidateSet(q.Keywords)
 }

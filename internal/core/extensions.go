@@ -6,9 +6,6 @@ import (
 	"sort"
 
 	"repro/internal/container"
-	"repro/internal/geo"
-	"repro/internal/textrel"
-	"repro/internal/vocab"
 )
 
 // SelectTopL returns up to l selections — the l best candidate locations,
@@ -28,11 +25,10 @@ func (e *Engine) SelectTopL(q Query, method KeywordMethod, l int) ([]Selection, 
 		return nil, fmt.Errorf("core: l must be positive")
 	}
 	w := textrelCandidateSet(q)
-	ql := e.buildLocationQueue(q, w)
+	lcs := e.locationCandidates(q, w, true)
 
 	best := container.NewTopK[Selection](l)
-	for ql.Len() > 0 {
-		lc, _ := ql.Pop()
+	for _, lc := range lcs {
 		if best.Full() && float64(len(lc.users)) < best.Threshold() {
 			break
 		}
@@ -40,7 +36,7 @@ func (e *Engine) SelectTopL(q Query, method KeywordMethod, l int) ([]Selection, 
 		if method == KeywordsApprox {
 			sel = e.selectKeywordsGreedy(q, lc, w)
 		} else {
-			sel = e.selectKeywordsExact(q, lc, w)
+			sel = e.selectKeywordsExact(q, lc, w, 1)
 		}
 		if sel.Count() > 0 {
 			best.Offer(sel, float64(sel.Count()))
@@ -101,29 +97,3 @@ func (e *Engine) SelectMultiple(q Query, method KeywordMethod, m int) ([]Selecti
 	return out, nil
 }
 
-// buildLocationQueue constructs the best-first queue of candidate
-// locations with their qualifying-user lists (the first half of
-// Algorithm 3), shared by Select, SelectTopL and SelectMultiple.
-func (e *Engine) buildLocationQueue(q Query, w textrel.CandidateSet) *container.Heap[locCandidate] {
-	ql := container.NewMaxHeap[locCandidate]()
-	uniDoc := vocab.DocFromTerms(e.su.Uni)
-	for li := range q.Locations {
-		ssUB := e.Scorer.SSMax(geo.RectFromPoint(q.Locations[li]), e.su.MBR)
-		ubSuper := e.Scorer.STSAddUpperBound(ssUB, q.OxDoc, uniDoc, e.su.MinNorm, w, q.WS)
-		if ubSuper < e.rskSuper {
-			continue
-		}
-		lc := locCandidate{li: li}
-		for ui := range e.Users {
-			ss := e.Scorer.SS(q.Locations[li], e.Users[ui].Loc)
-			ubl := e.Scorer.STSAddUpperBound(ss, q.OxDoc, e.Users[ui].Doc, e.norms[ui], w, q.WS)
-			if ubl >= e.rsk[ui] {
-				lc.users = append(lc.users, ui)
-			}
-		}
-		if len(lc.users) > 0 {
-			ql.Push(lc, float64(len(lc.users)))
-		}
-	}
-	return ql
-}

@@ -4,14 +4,26 @@ import (
 	"sort"
 
 	"repro/internal/container"
+	"repro/internal/parallel"
 	"repro/internal/textrel"
 	"repro/internal/vocab"
 )
 
-// selectKeywordsExact implements Algorithm 4: enumerate size-ws
-// combinations of the pruned candidate keywords and count each tuple's
-// BRSTkNN exactly, with the user- and keyword-pruning of Section 6.2.2.
-func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.CandidateSet) Selection {
+// exactPrep is the per-location state Algorithm 4 shares across keyword
+// combinations: the pruned candidate keywords, the user partition, and the
+// zero-keyword floor selection every combination must strictly beat.
+type exactPrep struct {
+	li        int
+	cand      []vocab.TermID
+	contested []contestedUser
+	alwaysIn  []int32
+	bare      Selection
+	maxSize   int
+}
+
+// prepareExact runs the user- and keyword-pruning of Section 6.2.2 once
+// for a location.
+func (e *Engine) prepareExact(q Query, lc locCandidate, w textrel.CandidateSet) exactPrep {
 	li := lc.li
 
 	// Keyword pruning: only candidates occurring in at least one
@@ -39,8 +51,6 @@ func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.Candida
 		contested = append(contested, contestedUser{ui: ui, bareQualified: qualified})
 	}
 
-	best := Selection{LocIndex: li, Location: q.Locations[li], Users: bare}
-
 	// Definition 1 admits any |W'| ≤ ws. Under TF-IDF and KO larger sets
 	// never hurt, but under the Language Model an added keyword lengthens
 	// ox.d and can dilute other term weights, so smaller sets may win;
@@ -51,19 +61,88 @@ func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.Candida
 	if len(cand) < maxSize {
 		maxSize = len(cand)
 	}
-	for size := 1; size <= maxSize; size++ {
-		container.Combinations(cand, size, func(combo []vocab.TermID) bool {
-			users := e.tupleUsers(q, li, combo, contested, alwaysIn)
-			if len(users) > best.Count() {
-				best = Selection{
-					LocIndex: li,
-					Location: q.Locations[li],
-					Keywords: append([]vocab.TermID(nil), combo...),
-					Users:    users,
-				}
+	return exactPrep{
+		li: li, cand: cand, contested: contested, alwaysIn: alwaysIn,
+		bare:    Selection{LocIndex: li, Location: q.Locations[li], Users: bare},
+		maxSize: maxSize,
+	}
+}
+
+// exactUnit is one independently scannable chunk of the combination space:
+// the size-`size` combinations whose first (smallest) keyword is
+// cand[lead]. Units in (size, lead) order concatenate to exactly the
+// sequential enumeration order, which is what makes the parallel scan's
+// first-winner-wins reduction reproduce the sequential result.
+type exactUnit struct {
+	size, lead int
+}
+
+func (p *exactPrep) units() []exactUnit {
+	var out []exactUnit
+	for size := 1; size <= p.maxSize; size++ {
+		for lead := 0; lead+size <= len(p.cand); lead++ {
+			out = append(out, exactUnit{size: size, lead: lead})
+		}
+	}
+	return out
+}
+
+// scanUnit evaluates one unit's combinations in enumeration order,
+// returning the first selection (if any) strictly beating the floor count
+// and every earlier combination in the unit.
+func (e *Engine) scanUnit(q Query, p *exactPrep, u exactUnit) (Selection, bool) {
+	best := Selection{}
+	bestCount := p.bare.Count()
+	found := false
+	combo := make([]vocab.TermID, u.size)
+	combo[0] = p.cand[u.lead]
+	container.Combinations(p.cand[u.lead+1:], u.size-1, func(rest []vocab.TermID) bool {
+		copy(combo[1:], rest)
+		users := e.tupleUsers(q, p.li, combo, p.contested, p.alwaysIn)
+		if len(users) > bestCount {
+			bestCount = len(users)
+			best = Selection{
+				LocIndex: p.li,
+				Location: q.Locations[p.li],
+				Keywords: append([]vocab.TermID(nil), combo...),
+				Users:    users,
 			}
-			return true
-		})
+			found = true
+		}
+		return true
+	})
+	return best, found
+}
+
+// selectKeywordsExact implements Algorithm 4: enumerate size-ws
+// combinations of the pruned candidate keywords and count each tuple's
+// BRSTkNN exactly, with the user- and keyword-pruning of Section 6.2.2.
+// The combination space is chunked into units; with workers > 1 the units
+// fan out over a bounded pool, and the in-order reduction keeps the result
+// identical to the sequential scan.
+func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.CandidateSet, workers int) Selection {
+	p := e.prepareExact(q, lc, w)
+	units := p.units()
+	best := p.bare
+
+	if workers <= 1 || len(units) <= 1 {
+		for _, u := range units {
+			if sel, ok := e.scanUnit(q, &p, u); ok && sel.Count() > best.Count() {
+				best = sel
+			}
+		}
+		return best
+	}
+
+	sels := make([]Selection, len(units))
+	found := make([]bool, len(units))
+	parallel.ForN(len(units), workers, func(i int) {
+		sels[i], found[i] = e.scanUnit(q, &p, units[i])
+	})
+	for i := range units {
+		if found[i] && sels[i].Count() > best.Count() {
+			best = sels[i]
+		}
 	}
 	return best
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/textrel"
+)
+
+// TestParallelEquivalence is the engine half of the determinism guarantee
+// (ISSUE 1 acceptance): PrepareJointParallel and SelectParallel must
+// produce results identical to the sequential pipeline for every
+// Workers × Groups × method combination, on several seeded datasets and
+// relevance models.
+func TestParallelEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		measure textrel.MeasureKind
+		alpha   float64
+		seed    int64
+	}{
+		{"lm", textrel.LM, 0.5, 1},
+		{"tfidf", textrel.TFIDF, 0.5, 2},
+		{"ko-spatial", textrel.KO, 0.8, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFixture(t, tc.measure, tc.alpha, 400, 80, 8, tc.seed)
+			q := f.query(2, 5)
+
+			seq := NewEngine(f.tree, f.scorer, f.us.Users)
+			if err := seq.PrepareJoint(q.K); err != nil {
+				t.Fatal(err)
+			}
+			seqExact, err := seq.Select(q, KeywordsExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqApprox, err := seq.Select(q, KeywordsApprox)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 2, 8} {
+				for _, groups := range []int{1, 4} {
+					opts := ParallelOptions{Workers: workers, Groups: groups}
+					par := NewEngine(f.tree, f.scorer, f.us.Users)
+					if err := par.PrepareJointParallel(q.K, opts); err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(par.RSk(), seq.RSk()) {
+						t.Fatalf("workers=%d groups=%d: prepared thresholds differ", workers, groups)
+					}
+
+					gotExact, err := par.SelectParallel(q, KeywordsExact, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotExact, seqExact) {
+						t.Fatalf("workers=%d groups=%d exact: got %+v, want %+v", workers, groups, gotExact, seqExact)
+					}
+
+					gotApprox, err := par.SelectParallel(q, KeywordsApprox, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotApprox, seqApprox) {
+						t.Fatalf("workers=%d groups=%d approx: got %+v, want %+v", workers, groups, gotApprox, seqApprox)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSelectMatchesBruteForceCount re-anchors the parallel path to
+// ground truth, not just to the sequential implementation.
+func TestParallelSelectMatchesBruteForceCount(t *testing.T) {
+	f := newFixture(t, textrel.LM, 0.5, 250, 40, 6, 9)
+	q := f.query(2, 4)
+	want := bruteForceBestCount(t, f, q)
+
+	e := NewEngine(f.tree, f.scorer, f.us.Users)
+	opts := ParallelOptions{Workers: 4, Groups: 4}
+	if err := e.PrepareJointParallel(q.K, opts); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := e.SelectParallel(q, KeywordsExact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() != want {
+		t.Fatalf("parallel exact count = %d, brute force = %d", sel.Count(), want)
+	}
+}
+
+func TestParallelOptionsNormalize(t *testing.T) {
+	cases := []struct{ in, want ParallelOptions }{
+		{ParallelOptions{}, ParallelOptions{Workers: 1, Groups: 1}},
+		{ParallelOptions{Workers: 4}, ParallelOptions{Workers: 4, Groups: 4}},
+		{ParallelOptions{Workers: 2, Groups: 8}, ParallelOptions{Workers: 2, Groups: 8}},
+		{ParallelOptions{Workers: -1, Groups: -1}, ParallelOptions{Workers: 1, Groups: 1}},
+	}
+	for _, c := range cases {
+		if got := c.in.Normalize(); got != c.want {
+			t.Errorf("Normalize(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}

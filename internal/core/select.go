@@ -1,8 +1,11 @@
 package core
 
 import (
-	"repro/internal/container"
+	"sort"
+
 	"repro/internal/geo"
+	"repro/internal/textrel"
+	"repro/internal/vocab"
 )
 
 // locCandidate is one candidate location with its qualifying-user list
@@ -17,7 +20,8 @@ type locCandidate struct {
 // Algorithm 3 orders candidate locations by |LU_ℓ| (best-first), terminates
 // early when no remaining location can beat the incumbent, and delegates
 // keyword selection to the exact (Algorithm 4) or greedy (Section 6.2.1)
-// method. The engine must be prepared for q.K first.
+// method. The engine must be prepared for q.K first. Select is the
+// sequential special case of SelectParallel.
 func (e *Engine) Select(q Query, method KeywordMethod) (Selection, error) {
 	return e.selectOrdered(q, method, true)
 }
@@ -35,64 +39,88 @@ func (e *Engine) selectOrdered(q Query, method KeywordMethod, bestFirst bool) (S
 		return Selection{}, err
 	}
 	w := textrelCandidateSet(q)
-
-	// Build LU_ℓ for every location surviving the super-user pruning
-	// (UBL(ℓ, us) uses the point-to-MBR minimum distance spatially and
-	// Lemma 3's additive bound over the keyword union textually).
-	ql := e.buildLocationQueue(q, w)
-	if !bestFirst {
-		// Ablation: re-key by the given location order.
-		flat := container.NewMaxHeap[locCandidate]()
-		for ql.Len() > 0 {
-			lc, _ := ql.Pop()
-			flat.Push(lc, float64(-lc.li))
-		}
-		ql = flat
-	}
+	lcs := e.locationCandidates(q, w, bestFirst)
 
 	best := Selection{LocIndex: -1}
-	for ql.Len() > 0 {
-		lc, _ := ql.Pop()
-		// Early termination: |LU_ℓ| bounds the achievable count from above.
-		if bestFirst && len(lc.users) < best.Count() {
-			break
-		}
-		if !bestFirst && len(lc.users) < best.Count() {
-			continue // still sound: |LU_ℓ| caps this location's count
-		}
-
-		// Group-level lower-bound shortcut (lines 3.11–3.13): when even the
-		// intersection text of the bare ox.d clears the group threshold, no
-		// keyword is needed. We confirm per user with the exact zero-keyword
-		// STS (DESIGN.md §4 explains why the paper's unverified version can
-		// overcount).
-		lbSuper := e.Scorer.Alpha*e.Scorer.SSMin(geo.RectFromPoint(q.Locations[lc.li]), e.su.MBR) +
-			(1-e.Scorer.Alpha)*e.su.LBText(e.intTextSum(q))
-		if lbSuper >= e.rskSuper {
-			users := e.countBRSTkNN(q, lc.li, nil, lc.users)
-			if len(users) > best.Count() {
-				best = Selection{LocIndex: lc.li, Location: q.Locations[lc.li], Users: users}
+	for _, lc := range lcs {
+		// |LU_ℓ| bounds the achievable count from above; in best-first
+		// order no later location can recover either.
+		if len(lc.users) < best.Count() {
+			if bestFirst {
+				break
 			}
-			// The shortcut is conclusive only when the verified count
-			// saturates LU_ℓ; otherwise keywords may still win users.
-			if len(users) == len(lc.users) {
-				continue
-			}
+			continue
 		}
-
-		// Full keyword selection for this location.
-		var sel Selection
-		if method == KeywordsApprox {
-			sel = e.selectKeywordsGreedy(q, lc, w)
-		} else {
-			sel = e.selectKeywordsExact(q, lc, w)
-		}
-		if sel.Count() > best.Count() {
+		if sel := e.evalLocation(q, method, w, lc, 1); sel.Count() > best.Count() {
 			best = sel
 		}
 	}
 	best.normalize()
 	return best, nil
+}
+
+// evalLocation computes one candidate location's best selection — the
+// per-location body shared by the sequential and parallel searches, so
+// both agree byte-for-byte. comboWorkers bounds the goroutines the exact
+// keyword scan may use (1 = sequential).
+func (e *Engine) evalLocation(q Query, method KeywordMethod, w textrel.CandidateSet, lc locCandidate, comboWorkers int) Selection {
+	// Group-level lower-bound shortcut (lines 3.11–3.13): when even the
+	// intersection text of the bare ox.d clears the group threshold, no
+	// keyword is needed. We confirm per user with the exact zero-keyword
+	// STS (DESIGN.md §4 explains why the paper's unverified version can
+	// overcount). The shortcut is conclusive only when the verified count
+	// saturates LU_ℓ; otherwise keywords may still win users, and the
+	// keyword selectors' zero-keyword floor subsumes this count.
+	lbSuper := e.Scorer.Alpha*e.Scorer.SSMin(geo.RectFromPoint(q.Locations[lc.li]), e.su.MBR) +
+		(1-e.Scorer.Alpha)*e.su.LBText(e.intTextSum(q))
+	if lbSuper >= e.rskSuper {
+		users := e.countBRSTkNN(q, lc.li, nil, lc.users)
+		if len(users) == len(lc.users) {
+			return Selection{LocIndex: lc.li, Location: q.Locations[lc.li], Users: users}
+		}
+	}
+	if method == KeywordsApprox {
+		return e.selectKeywordsGreedy(q, lc, w)
+	}
+	return e.selectKeywordsExact(q, lc, w, comboWorkers)
+}
+
+// locationCandidates builds the candidate locations with their qualifying
+// user lists (the first half of Algorithm 3), shared by every selection
+// variant. With sortBest the list is in the canonical best-first order —
+// |LU_ℓ| descending, location index ascending on ties — which fixes the
+// tie-breaking the sequential and parallel searches must agree on;
+// otherwise it stays in location order (the no-best-first ablation).
+func (e *Engine) locationCandidates(q Query, w textrel.CandidateSet, sortBest bool) []locCandidate {
+	var lcs []locCandidate
+	uniDoc := vocab.DocFromTerms(e.su.Uni)
+	for li := range q.Locations {
+		ssUB := e.Scorer.SSMax(geo.RectFromPoint(q.Locations[li]), e.su.MBR)
+		ubSuper := e.Scorer.STSAddUpperBound(ssUB, q.OxDoc, uniDoc, e.su.MinNorm, w, q.WS)
+		if ubSuper < e.rskSuper {
+			continue
+		}
+		lc := locCandidate{li: li}
+		for ui := range e.Users {
+			ss := e.Scorer.SS(q.Locations[li], e.Users[ui].Loc)
+			ubl := e.Scorer.STSAddUpperBound(ss, q.OxDoc, e.Users[ui].Doc, e.norms[ui], w, q.WS)
+			if ubl >= e.rsk[ui] {
+				lc.users = append(lc.users, ui)
+			}
+		}
+		if len(lc.users) > 0 {
+			lcs = append(lcs, lc)
+		}
+	}
+	if sortBest {
+		sort.Slice(lcs, func(i, j int) bool {
+			if len(lcs[i].users) != len(lcs[j].users) {
+				return len(lcs[i].users) > len(lcs[j].users)
+			}
+			return lcs[i].li < lcs[j].li
+		})
+	}
+	return lcs
 }
 
 // intTextSum returns Σ_{t ∈ us.Int} Weight(ox.d, t): the unnormalized

@@ -188,7 +188,7 @@ func (e *Engine) SelectUserIndexed(q Query, method KeywordMethod, ut *miurtree.T
 		if method == KeywordsApprox {
 			sel = e.selectKeywordsGreedy(q, lc, w)
 		} else {
-			sel = e.selectKeywordsExact(q, lc, w)
+			sel = e.selectKeywordsExact(q, lc, w, 1)
 		}
 		if sel.Count() > best.Count() {
 			best = sel

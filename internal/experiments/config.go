@@ -51,6 +51,13 @@ type Config struct {
 	// user region (0 keeps the default Area/4+0.5; negative values
 	// concentrate locations inside the region).
 	LocMargin float64
+	// Workers and Groups configure the parallel query engine when
+	// regenerating the figures (joint phase and candidate selection).
+	// Zero values mean sequential / derived-from-Workers respectively —
+	// the paper's setting. FigScaling sweeps its own worker counts and
+	// reads only Groups (to pin the group count across the sweep).
+	Workers int
+	Groups  int
 }
 
 // Default returns the scaled equivalent of the paper's bold defaults

@@ -113,11 +113,20 @@ func (w *Workload) MeasureBaselineTopK() (TopKMetrics, error) {
 	}, nil
 }
 
-// MeasureJointTopK times the shared top-k phase on the MIR-tree.
+// parOpts resolves the workload's parallel-engine configuration; the
+// zero-valued default keeps every experiment sequential, the paper's
+// setting (benchrunner's -workers/-groups flags opt in).
+func (w *Workload) parOpts() core.ParallelOptions {
+	return core.ParallelOptions{Workers: w.Cfg.Workers, Groups: w.Cfg.Groups}.Normalize()
+}
+
+// MeasureJointTopK times the shared top-k phase on the MIR-tree, on the
+// parallel engine when the configuration asks for it.
 func (w *Workload) MeasureJointTopK() (TopKMetrics, error) {
 	w.MIR.IO().Reset()
+	opts := w.parOpts()
 	start := time.Now()
-	if _, err := topk.JointTopK(w.MIR, w.Scorer, w.US.Users, w.Cfg.K); err != nil {
+	if _, err := topk.JointTopKParallel(w.MIR, w.Scorer, w.US.Users, w.Cfg.K, opts.Workers, opts.Groups); err != nil {
 		return TopKMetrics{}, err
 	}
 	return TopKMetrics{
@@ -130,7 +139,7 @@ func (w *Workload) MeasureJointTopK() (TopKMetrics, error) {
 // PreparedEngine returns an engine with thresholds computed jointly.
 func (w *Workload) PreparedEngine() (*core.Engine, error) {
 	e := core.NewEngine(w.MIR, w.Scorer, w.US.Users)
-	if err := e.PrepareJoint(w.Cfg.K); err != nil {
+	if err := e.PrepareJointParallel(w.Cfg.K, w.parOpts()); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -149,13 +158,13 @@ func (w *Workload) SelectionTriple(e *core.Engine, runBaseline bool) (bMs, eMs, 
 		bMs = float64(time.Since(start).Microseconds()) / 1000
 	}
 	start := time.Now()
-	exact, err := e.Select(q, core.KeywordsExact)
+	exact, err := e.SelectParallel(q, core.KeywordsExact, w.parOpts())
 	if err != nil {
 		return
 	}
 	eMs = float64(time.Since(start).Microseconds()) / 1000
 	start = time.Now()
-	approx, err := e.Select(q, core.KeywordsApprox)
+	approx, err := e.SelectParallel(q, core.KeywordsApprox, w.parOpts())
 	if err != nil {
 		return
 	}

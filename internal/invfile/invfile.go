@@ -135,6 +135,84 @@ func Decode(buf []byte) (*File, error) {
 	return f, nil
 }
 
+// DecodeSums computes, in one pass over an encoded file and without
+// materializing posting maps, the per-entry bound sums the super-user
+// traversal needs: for every entry i,
+//
+//	maxSums[i] = Σ_{t∈maxTerms} max(MaxW(t,i), floor(t))
+//	minSums[i] = Σ_{t∈minTerms} max(MinW(t,i), floor(t))  (MinW > floor only)
+//
+// matching irtree.MaxTextSums / MinTextSums over a Decode'd file exactly.
+// maxTerms and minTerms must be ascending (the super-user keeps them
+// sorted); postings of terms in neither set are skipped byte-wise. This is
+// the traversal hot path: a node stores postings for its whole subtree
+// vocabulary, while a query group cares about a handful of terms.
+func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64) (maxSums, minSums []float64, err error) {
+	d := storage.NewDecoder(buf)
+	version := d.Uvarint()
+	if d.Err() == nil && version != versionMaxOnly && version != versionMinMax {
+		return nil, nil, fmt.Errorf("invfile: unknown version %d", version)
+	}
+	hasMin := version == versionMinMax
+
+	maxSums = make([]float64, nEntries)
+	minSums = make([]float64, nEntries)
+	var floorMax, floorMin float64
+	for _, tm := range maxTerms {
+		floorMax += floorOf(tm)
+	}
+	for _, tm := range minTerms {
+		floorMin += floorOf(tm)
+	}
+	for i := 0; i < nEntries; i++ {
+		maxSums[i] = floorMax
+		minSums[i] = floorMin
+	}
+
+	mi, ni := 0, 0 // cursors into maxTerms / minTerms (stored terms ascend)
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		t := vocab.TermID(d.Uvarint())
+		cnt := d.Uvarint()
+		for mi < len(maxTerms) && maxTerms[mi] < t {
+			mi++
+		}
+		for ni < len(minTerms) && minTerms[ni] < t {
+			ni++
+		}
+		wantMax := mi < len(maxTerms) && maxTerms[mi] == t
+		wantMin := ni < len(minTerms) && minTerms[ni] == t
+		if !wantMax && !wantMin {
+			d.SkipPostings(cnt, hasMin)
+			continue
+		}
+		floor := floorOf(t)
+		prev := int32(0)
+		for j := uint64(0); j < cnt; j++ {
+			entry := prev + int32(d.Uvarint())
+			prev = entry
+			maxw := d.Float64()
+			minw := 0.0
+			if hasMin {
+				minw = d.Float64()
+			}
+			if int(entry) >= nEntries {
+				return nil, nil, fmt.Errorf("invfile: posting entry %d out of range", entry)
+			}
+			if wantMax {
+				maxSums[entry] += maxw - floor
+			}
+			if wantMin && minw > floor {
+				minSums[entry] += minw - floor
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("invfile: %w", err)
+	}
+	return maxSums, minSums, nil
+}
+
 // Store persists inverted files through a pager and charges simulated I/O
 // on load.
 type Store struct {

@@ -1,0 +1,64 @@
+package irtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/textrel"
+	"repro/internal/vocab"
+)
+
+// TestReadInvSumsMatchesDecodedSums verifies the fused, term-filtered
+// decode against the reference path (full decode + MaxTextSums /
+// MinTextSums) on every node of both index kinds and several term sets,
+// including terms absent from the corpus.
+func TestReadInvSumsMatchesDecodedSums(t *testing.T) {
+	for _, kind := range []Kind{IRTree, MIRTree} {
+		for _, measure := range []textrel.MeasureKind{textrel.LM, textrel.TFIDF} {
+			tree, _, _ := buildSmall(t, kind, measure)
+			termSets := [][]vocab.TermID{
+				nil,
+				{0, 1, 2},
+				{3, 7, 50, 299},
+				{299, 5000}, // 5000 is out of vocabulary
+			}
+			for _, maxTerms := range termSets {
+				for _, minTerms := range termSets {
+					var walk func(id int32)
+					walk = func(id int32) {
+						node, err := tree.ReadNode(id)
+						if err != nil {
+							t.Fatal(err)
+						}
+						inv, err := tree.ReadInvFile(node)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantMax := MaxTextSums(tree.Model(), inv, len(node.Entries), maxTerms)
+						wantMin := MinTextSums(tree.Model(), inv, len(node.Entries), minTerms)
+						gotMax, gotMin, err := tree.ReadInvSums(node, maxTerms, minTerms)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range node.Entries {
+							if math.Abs(gotMax[i]-wantMax[i]) > 1e-12 {
+								t.Fatalf("%v/%v node %d entry %d: maxSum %v != %v (terms %v)",
+									kind, measure, id, i, gotMax[i], wantMax[i], maxTerms)
+							}
+							if math.Abs(gotMin[i]-wantMin[i]) > 1e-12 {
+								t.Fatalf("%v/%v node %d entry %d: minSum %v != %v (terms %v)",
+									kind, measure, id, i, gotMin[i], wantMin[i], minTerms)
+							}
+						}
+						if !node.Leaf {
+							for _, e := range node.Entries {
+								walk(e.Child)
+							}
+						}
+					}
+					walk(tree.RootID())
+				}
+			}
+		}
+	}
+}

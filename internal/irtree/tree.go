@@ -237,20 +237,46 @@ func (t *Tree) ReadNode(id int32) (*NodeData, error) {
 	return decodeNode(id, buf)
 }
 
-// ReadInvFile loads the inverted file referenced by a node, charging one
-// simulated I/O per 4 kB block (pool hits charge nothing).
-func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
+// readInvBytes fetches the raw encoded inverted file at id, applying the
+// simulated-I/O charging rule shared by every load path: one I/O per 4 kB
+// block, with buffer-pool hits charging nothing.
+func (t *Tree) readInvBytes(id storage.PageID) ([]byte, error) {
 	if t.cache != nil {
-		buf, hit, err := t.cache.Read(node.InvID)
+		buf, hit, err := t.cache.Read(id)
 		if err != nil {
 			return nil, err
 		}
 		if !hit {
-			t.io.InvFileLoad(t.pager.RecordPages(node.InvID))
+			t.io.InvFileLoad(t.pager.RecordPages(id))
 		}
-		return invfile.Decode(buf)
+		return buf, nil
 	}
-	return t.store.Load(node.InvID)
+	t.io.InvFileLoad(t.pager.RecordPages(id))
+	return t.pager.ReadRecord(id)
+}
+
+// ReadInvFile loads the inverted file referenced by a node, charging one
+// simulated I/O per 4 kB block (pool hits charge nothing).
+func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
+	buf, err := t.readInvBytes(node.InvID)
+	if err != nil {
+		return nil, err
+	}
+	return invfile.Decode(buf)
+}
+
+// ReadInvSums loads the inverted file referenced by a node and computes
+// the per-entry bound sums for the given (ascending) term sets in one
+// fused, term-filtered pass — the traversal fast path, equivalent to
+// ReadInvFile followed by MaxTextSums and MinTextSums but without
+// materializing posting lists for the node's whole subtree vocabulary.
+// The simulated I/O charge is identical to ReadInvFile's.
+func (t *Tree) ReadInvSums(node *NodeData, maxTerms, minTerms []vocab.TermID) (maxSums, minSums []float64, err error) {
+	buf, err := t.readInvBytes(node.InvID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return invfile.DecodeSums(buf, len(node.Entries), maxTerms, minTerms, t.model.FloorWeight)
 }
 
 // ResetCache drops all buffered pages — a cold-query boundary. No-op when

@@ -1,0 +1,67 @@
+// Package parallel provides the bounded fan-out/fan-in primitives the
+// query engine's parallel paths share. The helpers are deliberately
+// minimal: deterministic result placement is the caller's job (write to
+// index i of a pre-sized slice), so every user of this package stays
+// byte-identical to its sequential counterpart regardless of scheduling.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForN runs fn(i) for every i in [0, n), using up to workers goroutines.
+// With workers <= 1 (or n <= 1) it degenerates to a plain loop on the
+// calling goroutine — the sequential special case. Iterations are handed
+// out through an atomic cursor, so uneven per-item cost self-balances.
+// fn must confine its writes to per-index state.
+func ForN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MaxCounter is a monotone shared maximum — the lock-free incumbent bound
+// parallel best-first searches use to skip dominated work. The zero value
+// holds zero.
+type MaxCounter struct {
+	v atomic.Int64
+}
+
+// Get returns the current maximum.
+func (c *MaxCounter) Get() int { return int(c.v.Load()) }
+
+// Raise lifts the maximum to at least v.
+func (c *MaxCounter) Raise(v int) {
+	for {
+		cur := c.v.Load()
+		if int64(v) <= cur || c.v.CompareAndSwap(cur, int64(v)) {
+			return
+		}
+	}
+}

@@ -1,11 +1,18 @@
 package storage
 
+import "sync"
+
 // BufferPool is an LRU cache of decoded records in front of a Pager. The
 // experiments run cold queries (the pool is reset between queries), but a
 // pool is still required within one query so that revisiting a node does
 // not decode — or get charged — twice when the algorithm guarantees
 // at-most-once access and the implementation wants to assert it.
+//
+// The pool is safe for concurrent readers: the parallel query engine runs
+// several traversals over one tree, and every one of them funnels through
+// the same recency list.
 type BufferPool struct {
+	mu       sync.Mutex
 	pager    *Pager
 	capacity int
 	entries  map[PageID]*lruNode
@@ -35,28 +42,48 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 // returned slice is shared with the cache and must not be modified.
 // The second result reports whether the read was a cache hit.
 func (b *BufferPool) Read(id PageID) ([]byte, bool, error) {
+	b.mu.Lock()
 	if n, ok := b.entries[id]; ok {
 		b.hits++
 		b.moveToFront(n)
-		return n.data, true, nil
+		data := n.data
+		b.mu.Unlock()
+		return data, true, nil
 	}
 	b.misses++
+	b.mu.Unlock()
+
+	// Pager records are immutable while queries run (inserts are a
+	// single-writer operation), so the record copy happens outside the
+	// lock — concurrent misses must not serialize on it. Two goroutines
+	// racing on the same id both perform (and are charged for) a real
+	// read; only one result is cached.
 	data, err := b.pager.ReadRecord(id)
 	if err != nil {
 		return nil, false, err
 	}
 	if b.capacity > 0 {
-		b.insert(id, data)
+		b.mu.Lock()
+		if _, ok := b.entries[id]; !ok {
+			b.insert(id, data)
+		}
+		b.mu.Unlock()
 	}
 	return data, false, nil
 }
 
 // Stats returns cumulative hit and miss counts.
-func (b *BufferPool) Stats() (hits, misses int64) { return b.hits, b.misses }
+func (b *BufferPool) Stats() (hits, misses int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}
 
 // Reset drops all cached records (a cold-query boundary) but keeps the
 // hit/miss statistics.
 func (b *BufferPool) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.entries = make(map[PageID]*lruNode)
 	b.head, b.tail = nil, nil
 }

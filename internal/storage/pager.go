@@ -135,6 +135,25 @@ func (d *Decoder) Uvarint() uint64 {
 	return v
 }
 
+// SkipPostings advances past cnt postings of an inverted-file term list —
+// each a varint entry delta followed by one float64 (or two when hasMin) —
+// without decoding the floats. This is the filtered-decode fast path: most
+// of a node's stored vocabulary is irrelevant to any one query group.
+func (d *Decoder) SkipPostings(cnt uint64, hasMin bool) {
+	floats := 8
+	if hasMin {
+		floats = 16
+	}
+	for j := uint64(0); j < cnt && d.err == nil; j++ {
+		d.Uvarint()
+		if d.off+floats > len(d.buf) {
+			d.err = fmt.Errorf("storage: truncated posting at offset %d", d.off)
+			return
+		}
+		d.off += floats
+	}
+}
+
 // Float64 reads one float64.
 func (d *Decoder) Float64() float64 {
 	if d.err != nil {

@@ -1,0 +1,219 @@
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/dataset"
+	"repro/internal/irtree"
+	"repro/internal/parallel"
+	"repro/internal/textrel"
+)
+
+// PartitionUsers splits the indexes 0..len(users)-1 into up to `groups`
+// spatially coherent groups with a sort-tile pass: users are sorted by X,
+// cut into vertical slabs, and each slab is sorted by Y and cut into
+// tiles. Tight group MBRs are the point — each group's super-user prunes
+// far more of the object index than the loose all-users super-user of
+// Section 5.2, so grouping speeds the joint phase up even before any
+// concurrency is applied. All ordering ties fall back to the user index,
+// keeping the partition deterministic.
+func PartitionUsers(users []dataset.User, groups int) [][]int {
+	n := len(users)
+	if n == 0 {
+		return nil
+	}
+	if groups > n {
+		groups = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if groups <= 1 {
+		return [][]int{idx}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ua, ub := users[idx[a]], users[idx[b]]
+		if ua.Loc.X != ub.Loc.X {
+			return ua.Loc.X < ub.Loc.X
+		}
+		if ua.Loc.Y != ub.Loc.Y {
+			return ua.Loc.Y < ub.Loc.Y
+		}
+		return idx[a] < idx[b]
+	})
+
+	cols := int(math.Ceil(math.Sqrt(float64(groups))))
+	out := make([][]int, 0, groups)
+	start, remUsers, remGroups := 0, n, groups
+	for c := 0; c < cols && remGroups > 0; c++ {
+		colsLeft := cols - c
+		rows := (remGroups + colsLeft - 1) / colsLeft
+		slabSize := remUsers * rows / remGroups
+		if c == cols-1 || slabSize > remUsers {
+			slabSize = remUsers
+		}
+		slab := idx[start : start+slabSize]
+		sort.Slice(slab, func(a, b int) bool {
+			ua, ub := users[slab[a]], users[slab[b]]
+			if ua.Loc.Y != ub.Loc.Y {
+				return ua.Loc.Y < ub.Loc.Y
+			}
+			if ua.Loc.X != ub.Loc.X {
+				return ua.Loc.X < ub.Loc.X
+			}
+			return slab[a] < slab[b]
+		})
+		for r := 0; r < rows; r++ {
+			lo := len(slab) * r / rows
+			hi := len(slab) * (r + 1) / rows
+			if hi > lo {
+				out = append(out, slab[lo:hi:hi])
+			}
+		}
+		start += slabSize
+		remUsers -= slabSize
+		remGroups -= rows
+	}
+	return out
+}
+
+// refineAux is the per-group pruning index the parallel refinement builds
+// over a traversal's RO list: running suffix maxima of the two UB
+// components. For any user u of the group and scan position i, every
+// candidate at or beyond i scores at most
+//
+//	α·sufS[i] + (1−α)·sufR[i]/Norm(u)
+//
+// — a user-specific cutoff far tighter than the group-normalized UB the
+// paper's Algorithm 2 breaks on, because it swaps the group's MinNorm for
+// the user's own normalizer.
+type refineAux struct {
+	sufS, sufR []float64
+}
+
+func buildRefineAux(tr *TraversalResult) *refineAux {
+	n := len(tr.RO)
+	aux := &refineAux{sufS: make([]float64, n), sufR: make([]float64, n)}
+	maxS, maxR := 0.0, 0.0
+	for i := n - 1; i >= 0; i-- {
+		if tr.RO[i].SMax > maxS {
+			maxS = tr.RO[i].SMax
+		}
+		if tr.RO[i].RawText > maxR {
+			maxR = tr.RO[i].RawText
+		}
+		aux.sufS[i], aux.sufR[i] = maxS, maxR
+	}
+	return aux
+}
+
+// OneUserTopKPruned is Algorithm 2's per-user refinement with, when aux is
+// non-nil, two additional provably lossless pruning rules enabled by the
+// UB decomposition: a per-candidate skip (α·SMax + (1−α)·RawText/Norm(u)
+// < RSk already proves the exact score cannot qualify) and a suffix-maxima
+// early break (no remaining candidate can qualify). Both bounds dominate
+// the user's exact STS whenever the user belongs to the traversal's group
+// — their location lies in the group MBR and their keywords in the group
+// union — so the result is byte-identical to the aux-less scan.
+func OneUserTopKPruned(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int) UserTopK {
+	hu := container.NewStableTopK[irtree.Result](k)
+	for _, o := range tr.LO {
+		obj := &ds.Objects[o.ObjID]
+		s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norm)
+		hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s, int64(o.ObjID))
+	}
+	rsk := hu.Threshold()
+	alpha := scorer.Alpha
+	for i := range tr.RO {
+		o := &tr.RO[i]
+		if o.UB < rsk {
+			break // the paper's break: RO is descending in group UB
+		}
+		if aux != nil {
+			if alpha*aux.sufS[i]+(1-alpha)*aux.sufR[i]/norm < rsk {
+				break // no remaining candidate can reach this user's top-k
+			}
+			if alpha*o.SMax+(1-alpha)*o.RawText/norm < rsk {
+				continue // this candidate provably cannot qualify
+			}
+		}
+		obj := &ds.Objects[o.ObjID]
+		s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norm)
+		if s >= rsk {
+			hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s, int64(o.ObjID))
+			rsk = hu.Threshold()
+		}
+	}
+	// PopAscending yields worst→best under (score, then object ID);
+	// reversing gives descending score with ascending-ID tie-breaks.
+	results := hu.PopAscending()
+	for i, j := 0, len(results)-1; i < j; i, j = i+1, j-1 {
+		results[i], results[j] = results[j], results[i]
+	}
+	return UserTopK{Results: results, RSk: rsk}
+}
+
+// JointTopKParallel is the grouped, concurrent form of JointTopK: the user
+// set is partitioned into `groups` spatial groups, each group's super-user
+// traversal (Algorithm 1) runs on a pool of up to `workers` goroutines,
+// and the per-user refinements fan out over the same pool using the
+// pruned refinement above. workers <= 1 with groups <= 1 is exactly the
+// sequential JointTopK.
+//
+// Per-user results are identical to JointTopK for every workers/groups
+// choice: each group traversal yields a candidate superset of its users'
+// top-k objects, the extra pruning rules discard only candidates whose
+// bounds prove they cannot qualify, and ties are broken by object ID, so
+// refinement depends only on scores. The returned JointResult carries
+// Super and Trav only when a single group was used; with several groups
+// there is no single super-user traversal to report.
+func JointTopKParallel(tree *irtree.Tree, scorer *textrel.Scorer, users []dataset.User, k, workers, groups int) (*JointResult, error) {
+	if workers <= 1 && groups <= 1 {
+		return JointTopK(tree, scorer, users, k)
+	}
+	parts := PartitionUsers(users, groups)
+	norms := scorer.UserNorms(users)
+
+	travs := make([]*TraversalResult, len(parts))
+	auxes := make([]*refineAux, len(parts))
+	sus := make([]SuperUser, len(parts))
+	errs := make([]error, len(parts))
+	parallel.ForN(len(parts), workers, func(g int) {
+		gu := make([]dataset.User, len(parts[g]))
+		for i, ui := range parts[g] {
+			gu[i] = users[ui]
+		}
+		sus[g] = BuildSuperUser(gu, scorer)
+		travs[g], errs[g] = Traverse(tree, scorer, sus[g], k)
+		if errs[g] == nil {
+			auxes[g] = buildRefineAux(travs[g])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	groupOf := make([]int, len(users))
+	for g, part := range parts {
+		for _, ui := range part {
+			groupOf[ui] = g
+		}
+	}
+	per := make([]UserTopK, len(users))
+	ds := tree.Dataset()
+	parallel.ForN(len(users), workers, func(ui int) {
+		g := groupOf[ui]
+		per[ui] = OneUserTopKPruned(ds, scorer, &users[ui], norms[ui], travs[g], auxes[g], k)
+	})
+
+	res := &JointResult{PerUser: per, Norms: norms}
+	if len(parts) == 1 {
+		res.Super, res.Trav = sus[0], travs[0]
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/irtree"
+	"repro/internal/textrel"
+)
+
+func groupedFixture(t *testing.T, nObjects, nUsers int, seed int64) (*irtree.Tree, *textrel.Scorer, []dataset.User) {
+	t.Helper()
+	ds := dataset.GenerateFlickr(dataset.FlickrConfig{
+		NumObjects: nObjects, VocabSize: 200, MeanTags: 5, NumCluster: 5, Zipf: 1.1, Seed: seed,
+	})
+	us := dataset.GenerateUsers(ds, dataset.UserConfig{NumUsers: nUsers, UL: 3, UW: 15, Area: 30, Seed: seed + 1})
+	scorer := textrel.NewScorer(ds, textrel.LM, 0.5, dataset.UsersMBR(us.Users))
+	tree := irtree.Build(ds, scorer.Model, irtree.Config{Kind: irtree.MIRTree, Fanout: 16})
+	return tree, scorer, us.Users
+}
+
+func TestPartitionUsersIsAPartition(t *testing.T) {
+	_, _, users := groupedFixture(t, 300, 97, 3)
+	for _, groups := range []int{1, 2, 3, 4, 7, 16, 97, 200} {
+		parts := PartitionUsers(users, groups)
+		want := groups
+		if want > len(users) {
+			want = len(users)
+		}
+		if len(parts) != want {
+			t.Errorf("groups=%d: got %d parts, want %d", groups, len(parts), want)
+		}
+		seen := make(map[int]bool)
+		for _, part := range parts {
+			if len(part) == 0 {
+				t.Errorf("groups=%d: empty part", groups)
+			}
+			for _, ui := range part {
+				if seen[ui] {
+					t.Fatalf("groups=%d: user %d in two parts", groups, ui)
+				}
+				seen[ui] = true
+			}
+		}
+		if len(seen) != len(users) {
+			t.Errorf("groups=%d: %d users assigned, want %d", groups, len(seen), len(users))
+		}
+	}
+}
+
+func TestPartitionUsersEmpty(t *testing.T) {
+	if parts := PartitionUsers(nil, 4); parts != nil {
+		t.Fatalf("empty user set produced parts: %v", parts)
+	}
+}
+
+// TestJointTopKParallelEquivalence is the topk half of the determinism
+// guarantee: every (workers, groups) combination must reproduce the
+// sequential per-user results exactly — same RSk, same top-k objects, same
+// order.
+func TestJointTopKParallelEquivalence(t *testing.T) {
+	tree, scorer, users := groupedFixture(t, 400, 60, 11)
+	const k = 5
+	seq, err := JointTopK(tree, scorer, users, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, groups := range []int{1, 4, 9} {
+			par, err := JointTopKParallel(tree, scorer, users, k, workers, groups)
+			if err != nil {
+				t.Fatalf("workers=%d groups=%d: %v", workers, groups, err)
+			}
+			if len(par.PerUser) != len(seq.PerUser) {
+				t.Fatalf("workers=%d groups=%d: %d users, want %d", workers, groups, len(par.PerUser), len(seq.PerUser))
+			}
+			for ui := range seq.PerUser {
+				s, p := seq.PerUser[ui], par.PerUser[ui]
+				if s.RSk != p.RSk && !(math.IsInf(s.RSk, -1) && math.IsInf(p.RSk, -1)) {
+					t.Fatalf("workers=%d groups=%d user %d: RSk %v != %v", workers, groups, ui, p.RSk, s.RSk)
+				}
+				if len(s.Results) != len(p.Results) {
+					t.Fatalf("workers=%d groups=%d user %d: %d results, want %d",
+						workers, groups, ui, len(p.Results), len(s.Results))
+				}
+				for j := range s.Results {
+					if s.Results[j] != p.Results[j] {
+						t.Fatalf("workers=%d groups=%d user %d result %d: %+v != %+v",
+							workers, groups, ui, j, p.Results[j], s.Results[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupedTraversalCoversUserTopK checks the grouped soundness
+// argument directly: each group traversal's candidate set contains every
+// object of its users' exact (baseline-computed) top-k.
+func TestGroupedTraversalCoversUserTopK(t *testing.T) {
+	tree, scorer, users := groupedFixture(t, 400, 40, 19)
+	const k = 4
+	base, err := BaselineTopK(tree, scorer, users, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := PartitionUsers(users, 5)
+	for g, part := range parts {
+		gu := make([]dataset.User, len(part))
+		for i, ui := range part {
+			gu[i] = users[ui]
+		}
+		su := BuildSuperUser(gu, scorer)
+		tr, err := Traverse(tree, scorer, su, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCands := make(map[int32]bool)
+		for _, o := range tr.Candidates() {
+			inCands[o.ObjID] = true
+		}
+		for _, ui := range part {
+			for _, r := range base[ui].Results {
+				if !inCands[r.ObjID] {
+					t.Fatalf("group %d: user %d top-k object %d missing from group candidates", g, ui, r.ObjID)
+				}
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package topk
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/container"
 	"repro/internal/dataset"
@@ -16,6 +15,11 @@ import (
 type BoundedObject struct {
 	ObjID  int32
 	LB, UB float64
+	// SMax and RawText decompose UB for the parallel refinement's
+	// per-user pruning: UB = α·SMax + (1−α)·RawText/MinNorm(group).
+	// SMax is the spatial bound (SSMax vs the group MBR); RawText the
+	// unnormalized maximum text sum over the group's keyword union.
+	SMax, RawText float64
 }
 
 // TraversalResult is the outcome of Algorithm 1: every object that can be
@@ -49,23 +53,23 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 	}
 
 	type cand struct {
-		ref    int32
-		isNode bool
-		ub     float64
+		ref        int32
+		isNode     bool
+		ub         float64
+		smax, braw float64 // UB components (see BoundedObject)
 	}
 	// PQ is keyed by the lower bound (descending), per Section 5.4: objects
 	// with the best lower bounds surface early, which tightens RSk(us).
 	pq := container.NewMaxHeap[cand]()
-	pq.Push(cand{tree.RootID(), true, math.MaxFloat64}, math.MaxFloat64)
+	pq.Push(cand{ref: tree.RootID(), isNode: true, ub: math.MaxFloat64}, math.MaxFloat64)
 
 	lo := container.NewTopK[BoundedObject](k)
 	roHeap := container.NewMaxHeap[BoundedObject]()
-	model := tree.Model()
 
 	for pq.Len() > 0 {
 		c, lb := pq.Pop()
 		if !c.isNode {
-			obj := BoundedObject{ObjID: c.ref, LB: lb, UB: c.ub}
+			obj := BoundedObject{ObjID: c.ref, LB: lb, UB: c.ub, SMax: c.smax, RawText: c.braw}
 			if !lo.Full() {
 				lo.Offer(obj, obj.LB)
 				if lo.Full() {
@@ -96,19 +100,21 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 		if err != nil {
 			return nil, err
 		}
-		inv, err := tree.ReadInvFile(node)
+		// Fused, term-filtered decode: the node stores postings for its
+		// whole subtree vocabulary, but only the group's union and
+		// intersection terms contribute to the bounds.
+		maxSums, minSums, err := tree.ReadInvSums(node, su.Uni, su.Int)
 		if err != nil {
 			return nil, err
 		}
-		maxSums := irtree.MaxTextSums(model, inv, len(node.Entries), su.Uni)
-		minSums := irtree.MinTextSums(model, inv, len(node.Entries), su.Int)
 		for i, e := range node.Entries {
-			ub := scorer.Alpha*scorer.SSMax(e.Rect, su.MBR) + (1-scorer.Alpha)*su.UBText(maxSums[i])
+			smax := scorer.SSMax(e.Rect, su.MBR)
+			ub := scorer.Alpha*smax + (1-scorer.Alpha)*su.UBText(maxSums[i])
 			if lo.Full() && ub < res.RSkSuper {
 				continue
 			}
 			entryLB := scorer.Alpha*scorer.SSMin(e.Rect, su.MBR) + (1-scorer.Alpha)*su.LBText(minSums[i])
-			pq.Push(cand{e.Child, !node.Leaf, ub}, entryLB)
+			pq.Push(cand{ref: e.Child, isNode: !node.Leaf, ub: ub, smax: smax, braw: maxSums[i]}, entryLB)
 		}
 	}
 
@@ -136,30 +142,20 @@ type UserTopK struct {
 func IndividualTopK(ds *dataset.Dataset, scorer *textrel.Scorer, users []dataset.User, norms []float64, tr *TraversalResult, k int) []UserTopK {
 	out := make([]UserTopK, len(users))
 	for ui := range users {
-		u := &users[ui]
-		hu := container.NewTopK[irtree.Result](k)
-		for _, o := range tr.LO {
-			obj := &ds.Objects[o.ObjID]
-			s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norms[ui])
-			hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s)
-		}
-		rsk := hu.Threshold()
-		for _, o := range tr.RO {
-			if o.UB < rsk {
-				break // RO is descending in UB: nothing later can qualify
-			}
-			obj := &ds.Objects[o.ObjID]
-			s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norms[ui])
-			if s >= rsk {
-				hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s)
-				rsk = hu.Threshold()
-			}
-		}
-		results := hu.PopAscending()
-		sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
-		out[ui] = UserTopK{Results: results, RSk: rsk}
+		out[ui] = OneUserTopK(ds, scorer, &users[ui], norms[ui], tr, k)
 	}
 	return out
+}
+
+// OneUserTopK refines one user's exact top-k from a traversal's candidates
+// — the per-user body of Algorithm 2, exposed so the parallel engine can
+// fan it out over users. Ties on the k-th score are broken by ascending
+// object ID, making the retained set a function of the candidate multiset
+// alone: grouped (parallel) and global traversals yield identical answers,
+// the engine's equivalence guarantee. It is the no-pruning-index special
+// case of OneUserTopKPruned (see grouped.go).
+func OneUserTopK(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, k int) UserTopK {
+	return OneUserTopKPruned(ds, scorer, u, norm, tr, nil, k)
 }
 
 // JointResult bundles everything the joint processing yields.

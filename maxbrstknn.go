@@ -33,6 +33,21 @@
 // indexes with simulated 4 kB-page I/O accounting, the joint top-k
 // processing of Section 5, the exact and greedy candidate selection of
 // Section 6, and the MIUR-tree user index of Section 7.
+//
+// # Parallelism
+//
+// Both query phases run on a bounded worker pool when a Request (or
+// NewParallelSession) carries ParallelOptions: phase 1 partitions the
+// users into spatially tight super-user groups whose traversals execute
+// concurrently, and phase 2 fans the candidate locations and exact
+// keyword-combination scans out over the pool. Results are guaranteed
+// byte-identical to the sequential pipeline — ties are broken by object
+// ID everywhere — so Workers/Groups are purely performance knobs:
+//
+//	res, _ := idx.MaxBRSTkNN(maxbrstknn.Request{
+//		// ... query as above ...
+//		Parallel: maxbrstknn.ParallelOptions{Workers: runtime.GOMAXPROCS(0)},
+//	})
 package maxbrstknn
 
 import (

@@ -1,0 +1,92 @@
+package maxbrstknn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestParallelFacadeEquivalence is the facade half of the determinism
+// guarantee: MaxBRSTkNN with any ParallelOptions must return exactly the
+// sequential answer — same location, keywords, and user IDs — on random
+// instances, for both keyword-selection strategies.
+func TestParallelFacadeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 4; trial++ {
+		b := NewBuilder()
+		for i := 0; i < 80; i++ {
+			kws := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+			b.AddObject(rng.Float64()*10, rng.Float64()*10, kws...)
+		}
+		idx, err := b.Build(Options{Measure: LanguageModel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := make([]UserSpec, 24)
+		for i := range users {
+			users[i] = UserSpec{
+				X: rng.Float64() * 10, Y: rng.Float64() * 10,
+				Keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+			}
+		}
+		req := Request{
+			Users:       users,
+			Locations:   [][2]float64{{2, 2}, {8, 8}, {5, 5}, {1, 9}},
+			Keywords:    words,
+			MaxKeywords: 2,
+			K:           3,
+		}
+		for _, strat := range []Strategy{Exact, Approx} {
+			req.Strategy = strat
+			req.Parallel = ParallelOptions{}
+			want, err := idx.MaxBRSTkNN(req)
+			if err != nil {
+				t.Fatalf("trial %d %v sequential: %v", trial, strat, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, groups := range []int{1, 4} {
+					req.Parallel = ParallelOptions{Workers: workers, Groups: groups}
+					got, err := idx.MaxBRSTkNN(req)
+					if err != nil {
+						t.Fatalf("trial %d %v workers=%d groups=%d: %v", trial, strat, workers, groups, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d %v workers=%d groups=%d: got %+v, want %+v",
+							trial, strat, workers, groups, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSessionThresholds checks that a parallel session prepares
+// the exact thresholds a sequential session does.
+func TestParallelSessionThresholds(t *testing.T) {
+	b := NewBuilder()
+	rng := rand.New(rand.NewSource(5))
+	words := []string{"sushi", "noodles", "coffee", "books"}
+	for i := 0; i < 50; i++ {
+		b.AddObject(rng.Float64()*6, rng.Float64()*6, words[rng.Intn(len(words))])
+	}
+	idx, err := b.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserSpec, 17)
+	for i := range users {
+		users[i] = UserSpec{X: rng.Float64() * 6, Y: rng.Float64() * 6, Keywords: []string{words[rng.Intn(len(words))]}}
+	}
+	seq, err := idx.NewSession(users, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := idx.NewParallelSession(users, 2, ParallelOptions{Workers: 4, Groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Thresholds(), seq.Thresholds()) {
+		t.Fatalf("parallel thresholds %v != sequential %v", par.Thresholds(), seq.Thresholds())
+	}
+}

@@ -51,6 +51,26 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParallelOptions configures the parallel query engine. The zero value
+// runs the sequential paper pipeline; any setting produces results
+// byte-identical to it (ties are broken by object ID throughout), so
+// parallelism is purely a performance knob.
+type ParallelOptions struct {
+	// Workers bounds the goroutines each query phase may use. Values
+	// <= 1 run sequentially. A good default on a dedicated machine is
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Groups is the number of spatial super-user groups the joint top-k
+	// phase partitions the users into. Tighter groups prune more of the
+	// object index, so Groups can usefully exceed Workers even on a
+	// single core. Values <= 0 default to Workers.
+	Groups int
+}
+
+func (o ParallelOptions) core() core.ParallelOptions {
+	return core.ParallelOptions{Workers: o.Workers, Groups: o.Groups}
+}
+
 // Request is a MaxBRSTkNN query q(ox, L, W, ws, k) plus the user set.
 type Request struct {
 	// Users is the user set U.
@@ -67,6 +87,10 @@ type Request struct {
 	ExistingKeywords []string
 	// Strategy selects the processing method (default Exact).
 	Strategy Strategy
+	// Parallel configures the parallel engine for both query phases.
+	// The zero value is fully sequential. Only the Exact and Approx
+	// strategies parallelize; Exhaustive and UserIndexed ignore it.
+	Parallel ParallelOptions
 }
 
 // Result is a MaxBRSTkNN answer.
@@ -95,9 +119,9 @@ type PruningStats struct {
 
 // MaxBRSTkNN answers the query. The heavy phase-1 work (each user's RSk
 // threshold) runs inside; to amortize it across many candidate sets, use
-// Session.
+// Session. req.Parallel applies to both phases.
 func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
-	s, err := ix.NewSession(req.Users, req.K)
+	s, err := ix.NewParallelSession(req.Users, req.K, req.Parallel)
 	if err != nil {
 		return Result{}, err
 	}
@@ -115,8 +139,16 @@ type Session struct {
 }
 
 // NewSession precomputes the thresholds for the user set via the joint
-// top-k processing of Section 5.
+// top-k processing of Section 5, sequentially.
 func (ix *Index) NewSession(users []UserSpec, k int) (*Session, error) {
+	return ix.NewParallelSession(users, k, ParallelOptions{})
+}
+
+// NewParallelSession is NewSession with the joint top-k phase run on the
+// parallel engine: users are partitioned into opts.Groups spatial groups
+// whose super-user traversals execute on up to opts.Workers goroutines.
+// The prepared thresholds are identical to NewSession's.
+func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOptions) (*Session, error) {
 	if len(users) == 0 {
 		return nil, fmt.Errorf("maxbrstknn: at least one user required")
 	}
@@ -133,7 +165,7 @@ func (ix *Index) NewSession(users []UserSpec, k int) (*Session, error) {
 	}
 	scorer := ix.scorerFor(dataset.UsersMBR(dsUsers))
 	engine := core.NewEngine(ix.mir, scorer, dsUsers)
-	if err := engine.PrepareJoint(k); err != nil {
+	if err := engine.PrepareJointParallel(k, opts.core()); err != nil {
 		return nil, err
 	}
 	return &Session{ix: ix, users: dsUsers, k: k, engine: engine}, nil
@@ -163,14 +195,14 @@ func (s *Session) Run(req Request) (Result, error) {
 	case Exhaustive:
 		sel, err = s.engine.Baseline(q)
 	case Approx:
-		sel, err = s.engine.Select(q, core.KeywordsApprox)
+		sel, err = s.engine.SelectParallel(q, core.KeywordsApprox, req.Parallel.core())
 	case UserIndexed:
 		scorer := s.engine.Scorer
 		ut := miurtree.Build(s.users, scorer, s.ix.opts.fanout())
 		engine := core.NewEngine(s.ix.mir, scorer, s.users)
 		sel, stats, err = engine.SelectUserIndexed(q, core.KeywordsExact, ut)
 	default:
-		sel, err = s.engine.Select(q, core.KeywordsExact)
+		sel, err = s.engine.SelectParallel(q, core.KeywordsExact, req.Parallel.core())
 	}
 	if err != nil {
 		return Result{}, err
