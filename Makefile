@@ -1,6 +1,7 @@
 GO ?= go
+SMOKEDIR ?= /tmp/maxbrstknn-smoke
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench cli-smoke ci
 
 all: ci
 
@@ -21,4 +22,19 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet race bench
+# Save/load CLI smoke: datagen → build a saved index → query it, and
+# require the answer to match the in-memory one-shot pipeline. Guards the
+# on-disk index format end to end.
+cli-smoke:
+	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	$(GO) build -o $(SMOKEDIR)/ ./cmd/...
+	cd $(SMOKEDIR) && ./datagen -n 2000 -users 100 -locations 10 -out . >/dev/null
+	cd $(SMOKEDIR) && ./maxbrstknn build -data . -out index.mxbr
+	cd $(SMOKEDIR) && ./maxbrstknn query -index index.mxbr -data . -ws 2 -k 5 | tee query.out
+	cd $(SMOKEDIR) && ./maxbrstknn -data . -ws 2 -k 5 | tee oneshot.out
+	cd $(SMOKEDIR) && answer="$$(grep -F '|BRSTkNN|' oneshot.out)" && test -n "$$answer" \
+		&& grep -F "$$answer" query.out >/dev/null \
+		&& echo "cli-smoke: saved-index answer matches in-memory answer"
+	rm -rf $(SMOKEDIR)
+
+ci: build vet race bench cli-smoke

@@ -9,9 +9,10 @@
 //	benchrunner -exp fig13 -objects 40000
 //	benchrunner -exp table4 -quick       # smoke scale
 //	benchrunner -exp scaling -groups 8   # parallel-engine speedup figure
+//	benchrunner -exp disk                # cold vs warm disk-backed serving
 //
 // Experiments: table4 table5 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations scaling.
+// fig13 fig14 fig15 ablations scaling disk.
 //
 // The scaling experiment sweeps the parallel engine over 1/2/4/8 workers;
 // -groups pins the super-user group count across the sweep (default: one
@@ -104,6 +105,7 @@ func main() {
 		{"fig14", func() ([]*experiments.Table, error) { return experiments.Fig14(cfg, nil) }},
 		{"fig15", func() ([]*experiments.Table, error) { return experiments.Fig15(cfg, nil) }},
 		{"scaling", func() ([]*experiments.Table, error) { return experiments.FigScaling(cfg) }},
+		{"disk", func() ([]*experiments.Table, error) { return experiments.FigDisk(cfg) }},
 		{"ablations", func() ([]*experiments.Table, error) {
 			var out []*experiments.Table
 			for _, fn := range []func(experiments.Config) (*experiments.Table, error){

@@ -1,11 +1,21 @@
-// Command maxbrstknn answers a MaxBRSTkNN query over text files produced
-// by cmd/datagen (or hand-written in the same interchange format):
+// Command maxbrstknn answers MaxBRSTkNN queries over text files produced
+// by cmd/datagen (or hand-written in the same interchange format).
+//
+// One-shot mode (build the index in memory, query, exit):
 //
 //	maxbrstknn -data ./data -ws 3 -k 10 -strategy approx
 //
-// It loads objects.txt, users.txt and candidates.txt from the data
-// directory, runs the query, and prints the selected location, keyword
-// set, and the reached users.
+// Persistent-index mode: build once, then serve any number of queries
+// against the saved index file —
+//
+//	maxbrstknn build -data ./data -out ./data/index.mxbr
+//	maxbrstknn query -index ./data/index.mxbr -data ./data -ws 3 -k 10
+//
+// build reads objects.txt from the data directory and writes the single
+// page-aligned index file; query loads it (through an LRU buffer pool —
+// size it with -cache, or pass -cache -1 to serve cold) and runs the
+// query described by users.txt and candidates.txt, reporting simulated
+// I/O next to the real page reads the index file served.
 package main
 
 import (
@@ -23,16 +33,125 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			runBuild(os.Args[2:])
+			return
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		}
+	}
+	runOneShot(os.Args[1:])
+}
+
+// runBuild implements the `build` subcommand: dataset → saved index file.
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	var (
-		dir      = flag.String("data", ".", "directory holding objects.txt, users.txt, candidates.txt")
-		ws       = flag.Int("ws", 3, "maximum keywords to select")
-		k        = flag.Int("k", 10, "top-k depth")
-		alpha    = flag.Float64("alpha", 0.5, "spatial/textual preference")
-		strategy = flag.String("strategy", "exact", "exact | approx | exhaustive | user-indexed")
-		measure  = flag.String("measure", "lm", "lm | tfidf | ko | bm25")
-		topL     = flag.Int("top", 1, "report the top-L candidate locations")
+		dir     = fs.String("data", ".", "directory holding objects.txt")
+		out     = fs.String("out", "index.mxbr", "output index file")
+		alpha   = fs.Float64("alpha", 0.5, "spatial/textual preference")
+		lambda  = fs.Float64("lambda", 0.4, "LM smoothing weight")
+		measure = fs.String("measure", "lm", "lm | tfidf | ko | bm25")
+		fanout  = fs.Int("fanout", 32, "R-tree node capacity")
 	)
-	flag.Parse()
+	fs.Parse(args)
+
+	v := vocab.New()
+	ds := loadObjects(filepath.Join(*dir, "objects.txt"), v)
+	b := maxbrstknn.NewBuilder()
+	for _, o := range ds.Objects {
+		b.AddObject(o.Loc.X, o.Loc.Y, termStrings(v, o.Doc)...)
+	}
+	opts := maxbrstknn.Options{
+		Measure: parseMeasure(*measure), Fanout: *fanout,
+		Alpha: *alpha, ExplicitAlpha: true,
+		Lambda: *lambda, ExplicitLambda: true,
+	}
+	start := time.Now()
+	idx, err := b.Build(opts)
+	if err != nil {
+		fail(err)
+	}
+	buildMs := float64(time.Since(start).Microseconds()) / 1000
+	start = time.Now()
+	if err := idx.Save(*out); err != nil {
+		fail(err)
+	}
+	saveMs := float64(time.Since(start).Microseconds()) / 1000
+	st, err := os.Stat(*out)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("built %d objects (measure=%s alpha=%.2f fanout=%d) in %.1f ms\n",
+		idx.NumObjects(), *measure, *alpha, *fanout, buildMs)
+	fmt.Printf("saved %s: %d bytes in %.1f ms\n", *out, st.Size(), saveMs)
+}
+
+// runQuery implements the `query` subcommand: saved index + query files →
+// answer.
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var (
+		indexPath = fs.String("index", "index.mxbr", "saved index file (from `maxbrstknn build`)")
+		dir       = fs.String("data", ".", "directory holding users.txt, candidates.txt")
+		ws        = fs.Int("ws", 3, "maximum keywords to select")
+		k         = fs.Int("k", 10, "top-k depth")
+		strategy  = fs.String("strategy", "exact", "exact | approx | exhaustive | user-indexed")
+		topL      = fs.Int("top", 1, "report the top-L candidate locations")
+		workers   = fs.Int("workers", 0, "parallel engine workers (0 = sequential)")
+		cache     = fs.Int("cache", 0, "buffer-pool records (0 = default, negative = cold)")
+	)
+	fs.Parse(args)
+
+	start := time.Now()
+	idx, err := maxbrstknn.LoadWithOptions(*indexPath, maxbrstknn.LoadOptions{CacheCapacity: *cache})
+	if err != nil {
+		fail(err)
+	}
+	defer idx.Close()
+	loadMs := float64(time.Since(start).Microseconds()) / 1000
+	fmt.Printf("loaded %s: %d objects in %.1f ms\n", *indexPath, idx.NumObjects(), loadMs)
+
+	// The query-side files carry keyword strings; parse them through a
+	// scratch vocabulary (the index file owns the real one).
+	scratch := vocab.New()
+	users := loadUsers(filepath.Join(*dir, "users.txt"), scratch)
+	locs, kws := loadCandidates(filepath.Join(*dir, "candidates.txt"))
+	specs := make([]maxbrstknn.UserSpec, len(users))
+	for i, u := range users {
+		specs[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: termStrings(scratch, u.Doc)}
+	}
+	req := maxbrstknn.Request{
+		Users:       specs,
+		Locations:   pointPairs(locs),
+		Keywords:    kws,
+		MaxKeywords: *ws,
+		K:           *k,
+		Strategy:    parseStrategy(*strategy),
+		Parallel:    maxbrstknn.ParallelOptions{Workers: *workers},
+	}
+	fmt.Printf("users=%d candidate locations=%d candidate keywords=%d strategy=%s k=%d ws=%d\n",
+		len(specs), len(locs), len(kws), req.Strategy, *k, *ws)
+	answer(idx, req, *topL)
+}
+
+// runOneShot preserves the original flag-driven behavior: build the index
+// in memory, answer one query, exit.
+func runOneShot(args []string) {
+	fs := flag.NewFlagSet("maxbrstknn", flag.ExitOnError)
+	var (
+		dir      = fs.String("data", ".", "directory holding objects.txt, users.txt, candidates.txt")
+		ws       = fs.Int("ws", 3, "maximum keywords to select")
+		k        = fs.Int("k", 10, "top-k depth")
+		alpha    = fs.Float64("alpha", 0.5, "spatial/textual preference")
+		strategy = fs.String("strategy", "exact", "exact | approx | exhaustive | user-indexed")
+		measure  = fs.String("measure", "lm", "lm | tfidf | ko | bm25")
+		topL     = fs.Int("top", 1, "report the top-L candidate locations")
+	)
+	fs.Parse(args)
 
 	v := vocab.New()
 	ds := loadObjects(filepath.Join(*dir, "objects.txt"), v)
@@ -43,19 +162,7 @@ func main() {
 	for _, o := range ds.Objects {
 		b.AddObject(o.Loc.X, o.Loc.Y, termStrings(v, o.Doc)...)
 	}
-	opts := maxbrstknn.Options{Alpha: *alpha, ExplicitAlpha: true}
-	switch strings.ToLower(*measure) {
-	case "lm":
-		opts.Measure = maxbrstknn.LanguageModel
-	case "tfidf":
-		opts.Measure = maxbrstknn.TFIDF
-	case "ko":
-		opts.Measure = maxbrstknn.KeywordOverlap
-	case "bm25":
-		opts.Measure = maxbrstknn.BM25Measure
-	default:
-		fail(fmt.Errorf("unknown measure %q", *measure))
-	}
+	opts := maxbrstknn.Options{Alpha: *alpha, ExplicitAlpha: true, Measure: parseMeasure(*measure)}
 	idx, err := b.Build(opts)
 	if err != nil {
 		fail(err)
@@ -65,41 +172,32 @@ func main() {
 	for i, u := range users {
 		specs[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: termStrings(v, u.Doc)}
 	}
-	reqLocs := make([][2]float64, len(locs))
-	for i, l := range locs {
-		reqLocs[i] = [2]float64{l.X, l.Y}
-	}
 	req := maxbrstknn.Request{
 		Users:       specs,
-		Locations:   reqLocs,
+		Locations:   pointPairs(locs),
 		Keywords:    kws,
 		MaxKeywords: *ws,
 		K:           *k,
-	}
-	switch strings.ToLower(*strategy) {
-	case "exact":
-		req.Strategy = maxbrstknn.Exact
-	case "approx":
-		req.Strategy = maxbrstknn.Approx
-	case "exhaustive":
-		req.Strategy = maxbrstknn.Exhaustive
-	case "user-indexed", "userindexed":
-		req.Strategy = maxbrstknn.UserIndexed
-	default:
-		fail(fmt.Errorf("unknown strategy %q", *strategy))
+		Strategy:    parseStrategy(*strategy),
 	}
 
 	fmt.Printf("objects=%d users=%d candidate locations=%d candidate keywords=%d\n",
-		idx.NumObjects(), len(specs), len(reqLocs), len(kws))
+		idx.NumObjects(), len(specs), len(locs), len(kws))
 	fmt.Printf("strategy=%s k=%d ws=%d alpha=%.2f measure=%s\n", req.Strategy, *k, *ws, *alpha, *measure)
+	answer(idx, req, *topL)
+}
 
+// answer runs the request (top-1 or top-L) and prints the result with the
+// I/O ledger: simulated I/O always, physical reads and cache hit rate
+// when the index is disk-backed.
+func answer(idx *maxbrstknn.Index, req maxbrstknn.Request, topL int) {
 	start := time.Now()
-	if *topL > 1 {
-		session, err := idx.NewSession(specs, *k)
+	if topL > 1 {
+		session, err := idx.NewSession(req.Users, req.K)
 		if err != nil {
 			fail(err)
 		}
-		ranked, err := session.RunTopL(req, *topL)
+		ranked, err := session.RunTopL(req, topL)
 		if err != nil {
 			fail(err)
 		}
@@ -115,18 +213,63 @@ func main() {
 		}
 		if res.LocationIndex < 0 {
 			fmt.Println("no location attracts any user")
-			return
-		}
-		fmt.Printf("selected location: #%d (%.6f, %.6f)\n", res.LocationIndex, res.Location[0], res.Location[1])
-		fmt.Printf("selected keywords: %s\n", strings.Join(res.Keywords, ", "))
-		fmt.Printf("|BRSTkNN| = %d users: %v\n", res.Count(), res.UserIDs)
-		if res.Stats.TotalUsers > 0 {
-			fmt.Printf("user-index pruning: %d/%d resolved (%.1f%% pruned)\n",
-				res.Stats.ResolvedUsers, res.Stats.TotalUsers, res.Stats.PrunedPercent)
+		} else {
+			fmt.Printf("selected location: #%d (%.6f, %.6f)\n", res.LocationIndex, res.Location[0], res.Location[1])
+			fmt.Printf("selected keywords: %s\n", strings.Join(res.Keywords, ", "))
+			fmt.Printf("|BRSTkNN| = %d users: %v\n", res.Count(), res.UserIDs)
+			if res.Stats.TotalUsers > 0 {
+				fmt.Printf("user-index pruning: %d/%d resolved (%.1f%% pruned)\n",
+					res.Stats.ResolvedUsers, res.Stats.TotalUsers, res.Stats.PrunedPercent)
+			}
 		}
 	}
 	fmt.Printf("elapsed: %.1f ms, simulated I/O: %d\n",
 		float64(time.Since(start).Microseconds())/1000, idx.SimulatedIO())
+	if records, pages := idx.ReadStats(); records > 0 {
+		hits, misses := idx.CacheStats()
+		fmt.Printf("physical reads: %d records / %d pages, buffer pool: %d hits / %d misses\n",
+			records, pages, hits, misses)
+	}
+}
+
+func parseMeasure(s string) maxbrstknn.Measure {
+	switch strings.ToLower(s) {
+	case "lm":
+		return maxbrstknn.LanguageModel
+	case "tfidf":
+		return maxbrstknn.TFIDF
+	case "ko":
+		return maxbrstknn.KeywordOverlap
+	case "bm25":
+		return maxbrstknn.BM25Measure
+	default:
+		fail(fmt.Errorf("unknown measure %q", s))
+		panic("unreachable")
+	}
+}
+
+func parseStrategy(s string) maxbrstknn.Strategy {
+	switch strings.ToLower(s) {
+	case "exact":
+		return maxbrstknn.Exact
+	case "approx":
+		return maxbrstknn.Approx
+	case "exhaustive":
+		return maxbrstknn.Exhaustive
+	case "user-indexed", "userindexed":
+		return maxbrstknn.UserIndexed
+	default:
+		fail(fmt.Errorf("unknown strategy %q", s))
+		panic("unreachable")
+	}
+}
+
+func pointPairs(locs []geo.Point) [][2]float64 {
+	out := make([][2]float64, len(locs))
+	for i, l := range locs {
+		out[i] = [2]float64{l.X, l.Y}
+	}
+	return out
 }
 
 func loadObjects(path string, v *vocab.Vocabulary) *dataset.Dataset {
@@ -155,7 +298,7 @@ func loadUsers(path string, v *vocab.Vocabulary) []dataset.User {
 	return users
 }
 
-func loadCandidates(path string) ([]geoPoint, []string) {
+func loadCandidates(path string) ([]geo.Point, []string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -167,9 +310,6 @@ func loadCandidates(path string) ([]geoPoint, []string) {
 	}
 	return locs, kws
 }
-
-// geoPoint aliases the internal geo.Point for local readability.
-type geoPoint = geo.Point
 
 func termStrings(v *vocab.Vocabulary, d vocab.Doc) []string {
 	var out []string

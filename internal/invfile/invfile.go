@@ -213,15 +213,15 @@ func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, flo
 	return maxSums, minSums, nil
 }
 
-// Store persists inverted files through a pager and charges simulated I/O
-// on load.
+// Store persists inverted files through a storage backend and charges
+// simulated I/O on load.
 type Store struct {
-	pager *storage.Pager
+	pager storage.Backend
 	io    *storage.IOCounter
 }
 
 // NewStore returns a store writing to pager and charging loads to io.
-func NewStore(pager *storage.Pager, io *storage.IOCounter) *Store {
+func NewStore(pager storage.Backend, io *storage.IOCounter) *Store {
 	return &Store{pager: pager, io: io}
 }
 

@@ -1,0 +1,84 @@
+package irtree
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/invfile"
+	"repro/internal/storage"
+	"repro/internal/textrel"
+)
+
+// EncodeMeta serializes the structural metadata a Tree needs beyond its
+// pager records: variant, fanout, height, root, and the node-id → record
+// mapping. Together with the backend contents and the dataset this fully
+// determines the tree — Restore(EncodeMeta()) answers every query
+// byte-identically to the original.
+func (t *Tree) EncodeMeta() []byte {
+	buf := storage.AppendUvarint(nil, uint64(t.kind))
+	buf = storage.AppendUvarint(buf, uint64(t.cfgFanout))
+	buf = storage.AppendUvarint(buf, uint64(t.height))
+	buf = storage.AppendUvarint(buf, uint64(t.rootID+1)) // rtree.NoNode (-1) → 0
+	buf = storage.AppendUvarint(buf, uint64(len(t.nodePages)))
+	for _, id := range t.nodePages {
+		buf = storage.AppendUvarint(buf, uint64(id+1)) // storage.InvalidPage (-1) → 0
+	}
+	return buf
+}
+
+// Restore reconstructs a Tree over a backend already holding its records,
+// from metadata produced by EncodeMeta. cacheCapacity front-loads an LRU
+// buffer pool exactly as Config.CacheCapacity does at build time (zero
+// keeps every query cold). The model must be built over ds with the same
+// measure the tree was built with; the restored tree starts with a fresh
+// I/O counter.
+func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, meta []byte, cacheCapacity int) (*Tree, error) {
+	d := storage.NewDecoder(meta)
+	kind := Kind(d.Uvarint())
+	fanout := int(d.Uvarint())
+	height := int(d.Uvarint())
+	rootID := int32(d.Uvarint()) - 1
+	numNodes := int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("irtree: corrupt tree metadata: %w", err)
+	}
+	if kind != IRTree && kind != MIRTree {
+		return nil, fmt.Errorf("irtree: corrupt tree metadata: unknown kind %d", kind)
+	}
+	if numNodes < 0 || uint64(numNodes) > uint64(len(meta)) { // each entry takes ≥1 byte
+		return nil, fmt.Errorf("irtree: corrupt tree metadata: implausible node count %d", numNodes)
+	}
+	totalPages := backend.NumPages()
+	nodePages := make([]storage.PageID, numNodes)
+	for i := range nodePages {
+		id := storage.PageID(d.Uvarint()) - 1
+		if id >= storage.PageID(totalPages) {
+			return nil, fmt.Errorf("irtree: corrupt tree metadata: node %d at page %d beyond %d stored pages", i, id, totalPages)
+		}
+		nodePages[i] = id
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("irtree: corrupt tree metadata: %w", err)
+	}
+	if int(rootID) >= numNodes {
+		return nil, fmt.Errorf("irtree: corrupt tree metadata: root %d with %d nodes", rootID, numNodes)
+	}
+
+	t := &Tree{
+		kind:      kind,
+		ds:        ds,
+		model:     model,
+		pager:     backend,
+		io:        &storage.IOCounter{},
+		nodePages: nodePages,
+		rootID:    rootID,
+		height:    height,
+		numNodes:  numNodes,
+		cfgFanout: fanout,
+	}
+	t.store = invfile.NewStore(t.pager, t.io)
+	if cacheCapacity > 0 {
+		t.cache = storage.NewBufferPool(t.pager, cacheCapacity)
+	}
+	return t, nil
+}

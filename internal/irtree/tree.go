@@ -59,7 +59,7 @@ type Tree struct {
 	ds    *dataset.Dataset
 	model textrel.Model
 
-	pager *storage.Pager
+	pager storage.Backend
 	io    *storage.IOCounter
 	store *invfile.Store
 	cache *storage.BufferPool // nil when CacheCapacity == 0 (cold queries)
@@ -211,6 +211,10 @@ func (t *Tree) NumNodes() int { return t.numNodes }
 
 // DiskPages returns the total pages occupied by nodes and inverted files.
 func (t *Tree) DiskPages() int { return t.pager.NumPages() }
+
+// Backend returns the record store holding the serialized nodes and
+// inverted files — the handle index persistence copies records from.
+func (t *Tree) Backend() storage.Backend { return t.pager }
 
 // ReadNode fetches and decodes the node with the given id, charging one
 // simulated node-visit I/O (the Section 8 rule). With a warm buffer pool

@@ -43,7 +43,7 @@ type NodeData struct {
 type Tree struct {
 	users []dataset.User
 
-	pager     *storage.Pager
+	pager     storage.Backend
 	io        *storage.IOCounter
 	nodePages []storage.PageID
 	rootID    int32
@@ -53,8 +53,10 @@ type Tree struct {
 	RootEntry NodeEntry
 }
 
-// Build constructs the index. The scorer supplies the per-user normalizers
-// aggregated into each entry.
+// Build constructs the index. The scorer supplies the per-user
+// normalizers aggregated into each entry. The user index is per-query
+// state, so its nodes always live in a fresh in-memory pager (behind the
+// same storage.Backend seam every tree in the codebase stores through).
 func Build(users []dataset.User, scorer *textrel.Scorer, fanout int) *Tree {
 	if fanout == 0 {
 		fanout = rtree.DefaultMaxEntries

@@ -1,0 +1,58 @@
+package storage
+
+// Backend is the record-store abstraction every disk-resident structure in
+// this codebase is built on. Two implementations exist: the in-memory
+// Pager (the original simulation substrate) and the disk-backed FilePager
+// (a single page-aligned index file). Both are append-oriented: records
+// are immutable once written and identified by their first PageID, and
+// PageIDs are allocated contiguously, so replaying the same WriteRecord
+// sequence against any Backend reproduces the same addresses — the
+// property index persistence relies on to keep saved and in-memory trees
+// byte-identical.
+//
+// Concurrency contract: all methods except WriteRecord are safe for
+// concurrent use once writing has stopped; WriteRecord requires exclusive
+// access (a single writer with no concurrent readers). Index construction
+// and incremental inserts are single-writer operations, and the parallel
+// query engine only reads.
+type Backend interface {
+	// WriteRecord appends data as a new record and returns its address.
+	// Implementations that can fail (disk) record a sticky error
+	// retrievable via their Err method.
+	WriteRecord(data []byte) PageID
+	// ReadRecord returns the record starting at id. The returned slice is
+	// a copy; callers may retain it.
+	ReadRecord(id PageID) ([]byte, error)
+	// RecordPages returns the number of pages the record at id occupies —
+	// the block count the simulated I/O rule charges for loading it.
+	RecordPages(id PageID) int
+	// NumPages returns the total number of allocated pages.
+	NumPages() int
+	// Records returns the addresses of all records in ascending order —
+	// which, because allocation is contiguous, is also append order.
+	Records() []PageID
+}
+
+// ReadStats counts physical record reads served by a backend — the
+// real-I/O side of the ledger, reported next to the simulated-I/O counter.
+// The in-memory Pager performs no physical reads and reports zeros.
+type ReadStats struct {
+	// Records is the number of ReadRecord calls that reached the medium.
+	Records int64
+	// Pages is the number of pages those reads transferred.
+	Pages int64
+}
+
+// StatsReader is implemented by backends that track physical reads.
+type StatsReader interface {
+	ReadStats() ReadStats
+}
+
+// BackendReadStats returns b's physical read counts, or zeros when the
+// backend does not track any (the in-memory Pager).
+func BackendReadStats(b Backend) ReadStats {
+	if sr, ok := b.(StatsReader); ok {
+		return sr.ReadStats()
+	}
+	return ReadStats{}
+}

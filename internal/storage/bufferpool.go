@@ -2,18 +2,18 @@ package storage
 
 import "sync"
 
-// BufferPool is an LRU cache of decoded records in front of a Pager. The
-// experiments run cold queries (the pool is reset between queries), but a
-// pool is still required within one query so that revisiting a node does
-// not decode — or get charged — twice when the algorithm guarantees
-// at-most-once access and the implementation wants to assert it.
+// BufferPool is an LRU cache of records in front of a Backend. Over the
+// in-memory pager it keeps cold-query accounting honest (revisiting a node
+// within one query is not charged twice); over the disk pager it is the
+// buffer pool proper, keeping hot tree nodes and posting lists out of the
+// read path entirely.
 //
 // The pool is safe for concurrent readers: the parallel query engine runs
 // several traversals over one tree, and every one of them funnels through
 // the same recency list.
 type BufferPool struct {
 	mu       sync.Mutex
-	pager    *Pager
+	backend  Backend
 	capacity int
 	entries  map[PageID]*lruNode
 	head     *lruNode // most recently used
@@ -28,11 +28,12 @@ type lruNode struct {
 	prev, next *lruNode
 }
 
-// NewBufferPool returns a pool over pager caching up to capacity records.
-// A non-positive capacity disables caching (every read is a miss).
-func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+// NewBufferPool returns a pool over backend caching up to capacity
+// records. A non-positive capacity disables caching (every read is a
+// miss).
+func NewBufferPool(backend Backend, capacity int) *BufferPool {
 	return &BufferPool{
-		pager:    pager,
+		backend:  backend,
 		capacity: capacity,
 		entries:  make(map[PageID]*lruNode),
 	}
@@ -53,12 +54,12 @@ func (b *BufferPool) Read(id PageID) ([]byte, bool, error) {
 	b.misses++
 	b.mu.Unlock()
 
-	// Pager records are immutable while queries run (inserts are a
+	// Backend records are immutable while queries run (inserts are a
 	// single-writer operation), so the record copy happens outside the
 	// lock — concurrent misses must not serialize on it. Two goroutines
 	// racing on the same id both perform (and are charged for) a real
 	// read; only one result is cached.
-	data, err := b.pager.ReadRecord(id)
+	data, err := b.backend.ReadRecord(id)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,368 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// FilePager is the disk Backend: a single index file of page-aligned
+// records behind the same append-oriented interface as the in-memory
+// Pager. The file starts with a crc-checked, versioned header page,
+// followed by the data pages, followed by a crc-checked record directory
+// (first page id and byte length per record):
+//
+//	offset 0                      header page (magic, version, counts,
+//	                              directory location, root record, CRC-32)
+//	offset PageSize·(1+i)         data page i
+//	offset dirOff                 directory + CRC-32
+//
+// A pager is created in one of two modes. Create opens a new file for
+// building: WriteRecord appends pages and Finalize writes the directory
+// and header. Open maps an existing finalized file for serving:
+// ReadRecord issues positioned reads (pread), so any number of goroutines
+// may read concurrently — front it with a BufferPool to keep hot records
+// cached. Records written after Open live in a memory overlay (the
+// append-only insert path of a loaded index); they are not persisted
+// until the index is saved again.
+type FilePager struct {
+	mu        sync.RWMutex
+	f         *os.File
+	writable  bool // Create mode: pages may still be appended to the file
+	finalized bool
+	filePages    int64 // pages stored in the file (excluding the header page)
+	overlayPages int64 // pages of records living in the memory overlay
+	lengths      map[PageID]int
+	order        []PageID // record ids in append order
+	overlay      map[PageID][]byte
+	root      PageID
+	writeErr  error
+
+	readRecords atomic.Int64
+	readPages   atomic.Int64
+}
+
+// File-format constants. FormatVersion counts the layout of the whole
+// index file — bump it whenever the header, directory, or any record
+// encoding changes incompatibly; Open rejects files from other versions.
+const (
+	FormatVersion = 1
+
+	headerSize = 56 // magic(8) + version(4) + pages(8) + records(8) + dirOff(8) + dirLen(8) + root(8) + crc(4)
+)
+
+var fileMagic = [8]byte{'M', 'X', 'B', 'R', 'I', 'D', 'X', '1'}
+
+// Sentinel errors for the corrupt- and mismatched-file paths, matchable
+// with errors.Is.
+var (
+	// ErrBadMagic means the file is not an index file at all.
+	ErrBadMagic = errors.New("storage: not an index file (bad magic)")
+	// ErrVersionMismatch means the file uses a different format version.
+	ErrVersionMismatch = errors.New("storage: index file format version mismatch")
+	// ErrChecksum means a header or directory CRC check failed.
+	ErrChecksum = errors.New("storage: index file checksum mismatch")
+	// ErrTruncated means the file is shorter than its header promises.
+	ErrTruncated = errors.New("storage: index file truncated")
+	// ErrReadOnly means a write reached a pager that cannot accept one.
+	ErrReadOnly = errors.New("storage: pager is finalized")
+)
+
+// CreateFilePager creates (truncating) the index file at path for
+// building.
+func CreateFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FilePager{
+		f:        f,
+		writable: true,
+		lengths:  make(map[PageID]int),
+		overlay:  make(map[PageID][]byte),
+		root:     InvalidPage,
+	}, nil
+}
+
+// OpenFilePager opens a finalized index file for serving. The header and
+// directory are validated (magic, format version, CRC-32) before any
+// record is served.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	p := &FilePager{
+		f:       f,
+		lengths: make(map[PageID]int),
+		overlay: make(map[PageID][]byte),
+		root:    InvalidPage,
+	}
+	if err := p.readHeaderAndDirectory(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.finalized = true
+	return p, nil
+}
+
+// WriteRecord implements Backend. In Create mode the record's pages are
+// appended to the file; after Open (or Finalize) they are kept in the
+// memory overlay. Disk failures are sticky — check Err after writing.
+func (p *FilePager) WriteRecord(data []byte) PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.numPagesLocked())
+	n := recordPageCount(len(data))
+	if p.writable && !p.finalized {
+		buf := make([]byte, n*PageSize)
+		copy(buf, data)
+		if _, err := p.f.WriteAt(buf, pageOffset(id)); err != nil {
+			if p.writeErr == nil {
+				p.writeErr = err
+			}
+			return InvalidPage
+		}
+		p.filePages += int64(n)
+	} else {
+		p.overlay[id] = append([]byte(nil), data...)
+		p.overlayPages += int64(n)
+	}
+	p.lengths[id] = len(data)
+	p.order = append(p.order, id)
+	return id
+}
+
+// Err returns the first write error, if any. Reads report their errors
+// directly; writes cannot (WriteRecord's signature is shared with the
+// infallible in-memory pager), so disk-write failures park here.
+func (p *FilePager) Err() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.writeErr
+}
+
+// ReadRecord implements Backend. Overlay records are served from memory;
+// file records are read with a positioned read, so concurrent readers
+// never contend.
+func (p *FilePager) ReadRecord(id PageID) ([]byte, error) {
+	p.mu.RLock()
+	length, ok := p.lengths[id]
+	if !ok {
+		p.mu.RUnlock()
+		return nil, fmt.Errorf("storage: no record at page %d", id)
+	}
+	if data, inOverlay := p.overlay[id]; inOverlay {
+		out := append([]byte(nil), data...)
+		p.mu.RUnlock()
+		return out, nil
+	}
+	f := p.f // captured under the lock: Close sets p.f to nil
+	p.mu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("storage: record at page %d: pager is closed", id)
+	}
+
+	out := make([]byte, length)
+	if length > 0 {
+		if _, err := f.ReadAt(out, pageOffset(id)); err != nil {
+			return nil, fmt.Errorf("storage: record at page %d: %w", id, err)
+		}
+	}
+	p.readRecords.Add(1)
+	p.readPages.Add(int64(recordPageCount(length)))
+	return out, nil
+}
+
+// ReadStats implements StatsReader: the physical reads served from the
+// file (overlay and cache hits are not physical reads).
+func (p *FilePager) ReadStats() ReadStats {
+	return ReadStats{Records: p.readRecords.Load(), Pages: p.readPages.Load()}
+}
+
+// RecordPages implements Backend.
+func (p *FilePager) RecordPages(id PageID) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	length, ok := p.lengths[id]
+	if !ok {
+		return 0
+	}
+	return recordPageCount(length)
+}
+
+// NumPages implements Backend.
+func (p *FilePager) NumPages() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.numPagesLocked()
+}
+
+func (p *FilePager) numPagesLocked() int {
+	return int(p.filePages + p.overlayPages)
+}
+
+// Records implements Backend.
+func (p *FilePager) Records() []PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]PageID(nil), p.order...)
+}
+
+// Root returns the root record set at Finalize time (InvalidPage when
+// none) — the entry point from which an index load bootstraps.
+func (p *FilePager) Root() PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.root
+}
+
+// Finalize writes the record directory and the header (with root as the
+// entry-point record) and syncs the file. After Finalize the pager serves
+// reads; further writes go to the memory overlay.
+func (p *FilePager) Finalize(root PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.writable {
+		return ErrReadOnly
+	}
+	if p.finalized {
+		return ErrReadOnly
+	}
+	if p.writeErr != nil {
+		return p.writeErr
+	}
+
+	dir := make([]byte, 0, 16*len(p.order))
+	dir = AppendUvarint(dir, uint64(len(p.order)))
+	for _, id := range p.order {
+		dir = AppendUvarint(dir, uint64(id))
+		dir = AppendUvarint(dir, uint64(p.lengths[id]))
+	}
+	dir = binary.LittleEndian.AppendUint32(dir, crc32.ChecksumIEEE(dir))
+	dirOff := PageSize * (1 + p.filePages)
+	if _, err := p.f.WriteAt(dir, dirOff); err != nil {
+		return err
+	}
+
+	hdr := make([]byte, headerSize)
+	copy(hdr, fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(p.filePages))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(len(p.order)))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(dirOff))
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(len(dir)))
+	binary.LittleEndian.PutUint64(hdr[44:], uint64(root+1)) // InvalidPage → 0
+	binary.LittleEndian.PutUint32(hdr[52:], crc32.ChecksumIEEE(hdr[:52]))
+	page := make([]byte, PageSize)
+	copy(page, hdr)
+	if _, err := p.f.WriteAt(page, 0); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	p.root = root
+	p.finalized = true
+	return nil
+}
+
+// Close releases the underlying file. Records still in the overlay are
+// discarded — save the index to persist them.
+func (p *FilePager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Close()
+	p.f = nil
+	return err
+}
+
+func (p *FilePager) readHeaderAndDirectory() error {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(p.f, 0, headerSize), hdr); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [8]byte(hdr[:8]) != fileMagic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersionMismatch, v, FormatVersion)
+	}
+	if crc := binary.LittleEndian.Uint32(hdr[52:]); crc != crc32.ChecksumIEEE(hdr[:52]) {
+		return fmt.Errorf("%w: header", ErrChecksum)
+	}
+	p.filePages = int64(binary.LittleEndian.Uint64(hdr[12:]))
+	numRecords := binary.LittleEndian.Uint64(hdr[20:])
+	dirOff := int64(binary.LittleEndian.Uint64(hdr[28:]))
+	dirLen := int64(binary.LittleEndian.Uint64(hdr[36:]))
+	p.root = PageID(binary.LittleEndian.Uint64(hdr[44:])) - 1
+
+	st, err := p.f.Stat()
+	if err != nil {
+		return err
+	}
+	if p.filePages < 0 || dirLen < 4 || dirOff < PageSize*(1+p.filePages) || dirOff+dirLen > st.Size() {
+		return fmt.Errorf("%w: directory at %d+%d beyond file size %d", ErrTruncated, dirOff, dirLen, st.Size())
+	}
+
+	dir := make([]byte, dirLen)
+	if _, err := p.f.ReadAt(dir, dirOff); err != nil {
+		return fmt.Errorf("%w: directory: %v", ErrTruncated, err)
+	}
+	body, sum := dir[:dirLen-4], binary.LittleEndian.Uint32(dir[dirLen-4:])
+	if sum != crc32.ChecksumIEEE(body) {
+		return fmt.Errorf("%w: directory", ErrChecksum)
+	}
+	d := NewDecoder(body)
+	if n := d.Uvarint(); n != numRecords {
+		return fmt.Errorf("%w: directory lists %d records, header promises %d", ErrChecksum, n, numRecords)
+	}
+	prevEnd := PageID(0)
+	for i := uint64(0); i < numRecords; i++ {
+		id := PageID(d.Uvarint())
+		length := int(d.Uvarint())
+		if d.Err() != nil {
+			break
+		}
+		if id != prevEnd {
+			return fmt.Errorf("%w: record %d at page %d, expected %d", ErrChecksum, i, id, prevEnd)
+		}
+		if int64(id)+int64(recordPageCount(length)) > p.filePages {
+			return fmt.Errorf("%w: record at page %d overruns %d stored pages", ErrTruncated, id, p.filePages)
+		}
+		p.lengths[id] = length
+		p.order = append(p.order, id)
+		prevEnd = id + PageID(recordPageCount(length))
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("%w: directory: %v", ErrChecksum, err)
+	}
+	if int(p.root) >= 0 {
+		if _, ok := p.lengths[p.root]; !ok {
+			return fmt.Errorf("%w: root record %d not in directory", ErrChecksum, p.root)
+		}
+	}
+	return nil
+}
+
+// pageOffset maps a page id to its byte offset (page 0 of data lives
+// after the header page).
+func pageOffset(id PageID) int64 { return PageSize * (1 + int64(id)) }
+
+// recordPageCount returns the pages a record of the given byte length
+// occupies (at least one, so empty records still have an address).
+func recordPageCount(length int) int {
+	n := (length + PageSize - 1) / PageSize
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

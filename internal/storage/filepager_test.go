@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeTestRecords fills a backend with a deterministic mix of record
+// sizes (empty, sub-page, exactly one page, multi-page).
+func writeTestRecords(t *testing.T, b Backend, n int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{0, 5, 100, PageSize - 1, PageSize, PageSize + 1, 3*PageSize + 7}
+	records := make([][]byte, n)
+	for i := range records {
+		data := make([]byte, sizes[rng.Intn(len(sizes))])
+		rng.Read(data)
+		records[i] = data
+		b.WriteRecord(data)
+	}
+	return records
+}
+
+// TestFilePagerMatchesPager checks the load-bearing Backend property:
+// replaying one WriteRecord sequence against the in-memory pager and the
+// file pager yields identical addresses, page counts, and contents.
+func TestFilePagerMatchesPager(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.bin")
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewPager()
+	records := writeTestRecords(t, mem, 40, 11)
+	for _, r := range records {
+		fp.WriteRecord(r)
+	}
+	if err := fp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	memIDs, fileIDs := mem.Records(), fp.Records()
+	if len(memIDs) != len(fileIDs) {
+		t.Fatalf("record counts differ: %d vs %d", len(memIDs), len(fileIDs))
+	}
+	for i := range memIDs {
+		if memIDs[i] != fileIDs[i] {
+			t.Fatalf("record %d: id %d (memory) vs %d (file)", i, memIDs[i], fileIDs[i])
+		}
+		if a, b := mem.RecordPages(memIDs[i]), fp.RecordPages(fileIDs[i]); a != b {
+			t.Fatalf("record %d: pages %d (memory) vs %d (file)", i, a, b)
+		}
+	}
+	if mem.NumPages() != fp.NumPages() {
+		t.Fatalf("NumPages: %d (memory) vs %d (file)", mem.NumPages(), fp.NumPages())
+	}
+	root := memIDs[len(memIDs)/2]
+	if err := fp.Finalize(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Root() != root {
+		t.Fatalf("root: got %d, want %d", re.Root(), root)
+	}
+	for i, id := range memIDs {
+		got, err := re.ReadRecord(id)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, records[i]) {
+			t.Fatalf("record %d: content mismatch (len %d vs %d)", i, len(got), len(records[i]))
+		}
+	}
+	stats := re.ReadStats()
+	if stats.Records != int64(len(records)) || stats.Pages == 0 {
+		t.Fatalf("ReadStats after full scan: %+v", stats)
+	}
+}
+
+// TestFilePagerOverlay checks that records written after Open live in the
+// memory overlay and behave like any other record.
+func TestFilePagerOverlay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.bin")
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fp.WriteRecord([]byte("on disk"))
+	if err := fp.Finalize(first); err != nil {
+		t.Fatal(err)
+	}
+	fp.Close()
+
+	re, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	big := bytes.Repeat([]byte{0x5A}, PageSize+9)
+	over := re.WriteRecord(big)
+	if over != PageID(1) {
+		t.Fatalf("overlay record landed at %d, want contiguous 1", over)
+	}
+	got, err := re.ReadRecord(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("overlay round-trip mismatch")
+	}
+	if n := re.NumPages(); n != 3 {
+		t.Fatalf("NumPages with overlay: got %d, want 3", n)
+	}
+	if got := re.Records(); len(got) != 2 || got[0] != first || got[1] != over {
+		t.Fatalf("Records with overlay: %v", got)
+	}
+	before := re.ReadStats()
+	if _, err := re.ReadRecord(over); err != nil {
+		t.Fatal(err)
+	}
+	if after := re.ReadStats(); after != before {
+		t.Fatalf("overlay read counted as physical: %+v -> %+v", before, after)
+	}
+}
+
+// TestFilePagerConcurrentReads hammers one open file pager (and a buffer
+// pool over it) from many goroutines — run under -race, this is the
+// concurrent-read-safety guarantee of the Backend contract.
+func TestFilePagerConcurrentReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.bin")
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := writeTestRecords(t, fp, 30, 23)
+	if err := fp.Finalize(0); err != nil {
+		t.Fatal(err)
+	}
+	fp.Close()
+	re, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	pool := NewBufferPool(re, 8)
+	hammerBackend(t, re, pool, records)
+}
+
+// TestPagerConcurrentReads is the same guarantee for the in-memory pager:
+// its doc promises concurrent readers once writing has stopped, and the
+// parallel query engine relies on it.
+func TestPagerConcurrentReads(t *testing.T) {
+	p := NewPager()
+	records := writeTestRecords(t, p, 30, 29)
+	pool := NewBufferPool(p, 8)
+	hammerBackend(t, p, pool, records)
+}
+
+func hammerBackend(t *testing.T, b Backend, pool *BufferPool, records [][]byte) {
+	t.Helper()
+	ids := b.Records()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				j := rng.Intn(len(ids))
+				var got []byte
+				var err error
+				if rng.Intn(2) == 0 {
+					got, err = b.ReadRecord(ids[j])
+				} else {
+					got, _, err = pool.Read(ids[j])
+				}
+				if err != nil {
+					t.Errorf("read %d: %v", ids[j], err)
+					return
+				}
+				if !bytes.Equal(got, records[j]) {
+					t.Errorf("read %d: content mismatch", ids[j])
+					return
+				}
+				b.RecordPages(ids[j])
+				b.NumPages()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestFilePagerWriteAfterFinalizeGoesToOverlay ensures a finalized pager
+// stays usable as an append target (the loaded-index insert path).
+func TestFilePagerWriteAfterFinalizeGoesToOverlay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.bin")
+	fp, err := CreateFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.WriteRecord([]byte("a"))
+	if err := fp.Finalize(0); err != nil {
+		t.Fatal(err)
+	}
+	id := fp.WriteRecord([]byte("late"))
+	got, err := fp.ReadRecord(id)
+	if err != nil || !bytes.Equal(got, []byte("late")) {
+		t.Fatalf("post-finalize write: %q, %v", got, err)
+	}
+	if err := fp.Finalize(0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("double Finalize: got %v, want ErrReadOnly", err)
+	}
+	fp.Close()
+
+	// The late record was overlay-only: reopening sees only the first.
+	re, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Records(); len(got) != 1 {
+		t.Fatalf("reopened file has %d records, want 1", len(got))
+	}
+}

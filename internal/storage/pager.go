@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // PageSize is the fixed disk page size of the experimental setup (4 kB).
@@ -21,11 +22,15 @@ type PageID int64
 // InvalidPage is the zero-like sentinel for "no page".
 const InvalidPage PageID = -1
 
-// Pager is an append-oriented page store. Records larger than one page
-// span consecutive pages; the pager tracks each record's byte length so
-// reads return exactly what was written. All methods are single-goroutine;
-// index construction and querying in this codebase are sequential, matching
-// the paper's cold-query evaluation.
+// Pager is the in-memory Backend: an append-oriented page store. Records
+// larger than one page span consecutive pages; the pager tracks each
+// record's byte length so reads return exactly what was written.
+//
+// Concurrency: ReadRecord, RecordPages, NumPages and Records never mutate
+// state, so any number of goroutines may call them concurrently — the
+// parallel query engine does exactly that during shared traversals.
+// WriteRecord requires exclusive access (no concurrent reads or writes);
+// construction and incremental inserts are single-writer operations.
 type Pager struct {
 	pages   [][]byte
 	lengths map[PageID]int // record byte length, keyed by first page
@@ -93,6 +98,20 @@ func (p *Pager) RecordPages(id PageID) int {
 // NumPages returns the total number of allocated pages.
 func (p *Pager) NumPages() int { return len(p.pages) }
 
+// Records returns all record addresses in ascending (append) order.
+func (p *Pager) Records() []PageID {
+	out := make([]PageID, 0, len(p.lengths))
+	for id := range p.lengths {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Err implements the Backend error convention; in-memory writes cannot
+// fail.
+func (p *Pager) Err() error { return nil }
+
 // ---- varint encoding helpers ----
 
 // AppendUvarint appends v to buf in unsigned LEB128.
@@ -152,6 +171,21 @@ func (d *Decoder) SkipPostings(cnt uint64, hasMin bool) {
 		}
 		d.off += floats
 	}
+}
+
+// Bytes reads n raw bytes and returns them as a copy.
+func (d *Decoder) Bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("storage: truncated %d-byte field at offset %d", n, d.off)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out
 }
 
 // Float64 reads one float64.

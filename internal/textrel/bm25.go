@@ -70,8 +70,8 @@ func (m *BM25Model) Name() string { return "BM25" }
 
 // IDF returns the BM25 idf of t (zero for out-of-corpus terms).
 func (m *BM25Model) IDF(t vocab.TermID) float64 {
-	if int(t) < len(m.idf) {
-		return m.idf[t]
+	if i := int(t); i >= 0 && i < len(m.idf) {
+		return m.idf[i]
 	}
 	return 0
 }
@@ -83,8 +83,8 @@ func (m *BM25Model) Weight(d vocab.Doc, t vocab.TermID) float64 {
 
 // MaxWeight implements Model.
 func (m *BM25Model) MaxWeight(t vocab.TermID) float64 {
-	if int(t) < len(m.maxW) {
-		return m.maxW[t]
+	if i := int(t); i >= 0 && i < len(m.maxW) {
+		return m.maxW[i]
 	}
 	return 0
 }

@@ -90,9 +90,17 @@ const DefaultLambda = 0.4
 
 // NewModel constructs the measure of the given kind over ds.
 func NewModel(kind MeasureKind, ds *dataset.Dataset) Model {
+	return NewModelWithLambda(kind, ds, DefaultLambda)
+}
+
+// NewModelWithLambda is NewModel with an explicit Jelinek–Mercer λ for
+// the Language Model (the other measures ignore it). This is the single
+// model-construction path shared by index building and index loading, so
+// a loaded model is bit-for-bit the model its index was built with.
+func NewModelWithLambda(kind MeasureKind, ds *dataset.Dataset, lambda float64) Model {
 	switch kind {
 	case LM:
-		return NewLanguageModel(ds, DefaultLambda)
+		return NewLanguageModel(ds, lambda)
 	case TFIDF:
 		return NewTFIDF(ds)
 	case KO:
@@ -167,8 +175,8 @@ func (m *LanguageModel) Weight(d vocab.Doc, t vocab.TermID) float64 {
 
 // MaxWeight implements Model.
 func (m *LanguageModel) MaxWeight(t vocab.TermID) float64 {
-	if int(t) < len(m.maxW) {
-		return m.maxW[t]
+	if i := int(t); i >= 0 && i < len(m.maxW) {
+		return m.maxW[i]
 	}
 	// Unknown term: the best any (hypothetical single-term) document does.
 	return 1 - m.lambda
@@ -178,8 +186,8 @@ func (m *LanguageModel) MaxWeight(t vocab.TermID) float64 {
 func (m *LanguageModel) FloorWeight(t vocab.TermID) float64 { return m.floorOf(t) }
 
 func (m *LanguageModel) floorOf(t vocab.TermID) float64 {
-	if int(t) < len(m.floor) {
-		return m.floor[t]
+	if i := int(t); i >= 0 && i < len(m.floor) {
+		return m.floor[i]
 	}
 	return 0
 }
@@ -231,8 +239,8 @@ func (m *TFIDFModel) Name() string { return "TFIDF" }
 
 // IDF returns idf(t); zero for terms absent from the corpus.
 func (m *TFIDFModel) IDF(t vocab.TermID) float64 {
-	if int(t) < len(m.idf) {
-		return m.idf[t]
+	if i := int(t); i >= 0 && i < len(m.idf) {
+		return m.idf[i]
 	}
 	return 0
 }
@@ -244,8 +252,8 @@ func (m *TFIDFModel) Weight(d vocab.Doc, t vocab.TermID) float64 {
 
 // MaxWeight implements Model.
 func (m *TFIDFModel) MaxWeight(t vocab.TermID) float64 {
-	if int(t) < len(m.maxW) {
-		return m.maxW[t]
+	if i := int(t); i >= 0 && i < len(m.maxW) {
+		return m.maxW[i]
 	}
 	return 0
 }

@@ -11,8 +11,20 @@ import (
 )
 
 // TermID identifies a term within one Vocabulary. IDs are dense, starting
-// at zero, so they can index slices and bitsets directly.
+// at zero, so they can index slices and bitsets directly. Negative values
+// are reserved for unknown terms (see UnknownTerm) and never collide with
+// vocabulary ids, no matter how much the vocabulary grows.
 type TermID int32
+
+// UnknownTerm returns the reserved id for the i-th unknown term of one
+// document: a negative id no Add call can ever assign. A query keyword
+// outside the corpus vocabulary must still occupy a distinct term slot —
+// it dilutes the user's normalizer exactly like a known-but-rare term —
+// while being guaranteed to match no object document.
+func UnknownTerm(i int) TermID { return TermID(-1 - i) }
+
+// IsUnknown reports whether t is a reserved unknown-term id.
+func (t TermID) IsUnknown() bool { return t < 0 }
 
 // Vocabulary assigns dense TermIDs to terms. The zero value is not usable;
 // construct with New.

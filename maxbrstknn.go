@@ -48,10 +48,25 @@
 //		// ... query as above ...
 //		Parallel: maxbrstknn.ParallelOptions{Workers: runtime.GOMAXPROCS(0)},
 //	})
+//
+// # Persistence
+//
+// A built index can be written to a single page-aligned file and served
+// from it — no rebuild, byte-identical answers for every strategy and
+// parallelism setting:
+//
+//	_ = idx.Save("index.mxbr")
+//	loaded, _ := maxbrstknn.Load("index.mxbr")
+//	defer loaded.Close()
+//
+// Loaded indexes read tree nodes and posting lists from the file through
+// an LRU buffer pool (see LoadOptions); Index.ReadStats reports the
+// physical reads next to the simulated-I/O counter.
 package maxbrstknn
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
@@ -99,7 +114,14 @@ type Options struct {
 	Alpha float64
 	// ExplicitAlpha forces Alpha to be used verbatim even when zero.
 	ExplicitAlpha bool
-	// Fanout is the R-tree node capacity (default 32).
+	// Lambda is the Jelinek–Mercer smoothing weight of the LanguageModel
+	// measure (default textrel.DefaultLambda = 0.4; ignored by the other
+	// measures). Zero means "use default"; pass ExplicitLambda to force an
+	// unsmoothed literal 0.
+	Lambda float64
+	// ExplicitLambda forces Lambda to be used verbatim even when zero.
+	ExplicitLambda bool
+	// Fanout is the R-tree node capacity (default 32, minimum 4).
 	Fanout int
 }
 
@@ -110,11 +132,47 @@ func (o Options) alpha() float64 {
 	return o.Alpha
 }
 
+func (o Options) lambda() float64 {
+	if o.Lambda == 0 && !o.ExplicitLambda {
+		return textrel.DefaultLambda
+	}
+	return o.Lambda
+}
+
 func (o Options) fanout() int {
 	if o.Fanout == 0 {
 		return 32
 	}
 	return o.Fanout
+}
+
+// Validate reports the first invalid option. Build calls it, so parameter
+// mistakes surface as errors at the facade rather than as panics from the
+// internal packages.
+func (o Options) Validate() error {
+	switch o.Measure {
+	case LanguageModel, TFIDF, KeywordOverlap, BM25Measure:
+	default:
+		return fmt.Errorf("maxbrstknn: unknown measure %d", int(o.Measure))
+	}
+	if a := o.alpha(); !(a >= 0 && a <= 1) {
+		return fmt.Errorf("maxbrstknn: alpha must be in [0,1], got %v", a)
+	}
+	if l := o.lambda(); !(l >= 0 && l <= 1) {
+		return fmt.Errorf("maxbrstknn: lambda must be in [0,1], got %v", l)
+	}
+	if o.Fanout != 0 && o.Fanout < 4 {
+		return fmt.Errorf("maxbrstknn: fanout must be 0 (default) or at least 4, got %d", o.Fanout)
+	}
+	return nil
+}
+
+// newModel constructs the relevance model the options describe, through
+// the one construction path the persistence loader also uses
+// (textrel.NewModelWithLambda), so a loaded model matches the built one
+// bit for bit.
+func (o Options) newModel(ds *dataset.Dataset) textrel.Model {
+	return textrel.NewModelWithLambda(o.Measure.kind(), ds, o.lambda())
 }
 
 // Builder accumulates objects before index construction.
@@ -153,9 +211,12 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 	if len(b.objects) == 0 {
 		return nil, fmt.Errorf("maxbrstknn: no objects added")
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	objects := append([]dataset.Object(nil), b.objects...)
 	ds := dataset.Build(objects, b.vocab)
-	model := textrel.NewModel(opts.Measure.kind(), ds)
+	model := opts.newModel(ds)
 	mir := irtree.Build(ds, model, irtree.Config{Kind: irtree.MIRTree, Fanout: opts.fanout()})
 	return &Index{ds: ds, opts: opts, model: model, mir: mir}, nil
 }
@@ -169,6 +230,10 @@ type Index struct {
 	opts  Options
 	model textrel.Model
 	mir   *irtree.Tree
+
+	// closer releases the index file backing a loaded index; nil for
+	// in-memory indexes.
+	closer io.Closer
 }
 
 // scorerFor builds a scorer whose dmax covers the given extra rectangles.
@@ -234,15 +299,20 @@ func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, e
 	return out, nil
 }
 
-// docFromKeywords maps known keywords to a document; unknown keywords are
-// assigned fresh ids (they simply never match any object).
+// docFromKeywords maps known keywords to a document. Unknown keywords get
+// the reserved negative ids of vocab.UnknownTerm: they still occupy a
+// term slot (diluting the user's normalizer, as a never-matching keyword
+// should) but are guaranteed never to collide with a vocabulary id, no
+// matter how much the vocabulary later grows via AddObject.
 func (ix *Index) docFromKeywords(keywords []string) vocab.Doc {
 	terms := make([]vocab.TermID, 0, len(keywords))
+	unknown := 0
 	for _, kw := range keywords {
 		if id, ok := ix.ds.Vocab.Lookup(kw); ok {
 			terms = append(terms, id)
 		} else {
-			terms = append(terms, vocab.TermID(ix.ds.Vocab.Size()+1000+len(terms)))
+			terms = append(terms, vocab.UnknownTerm(unknown))
+			unknown++
 		}
 	}
 	return vocab.DocFromTerms(terms)

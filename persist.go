@@ -1,0 +1,124 @@
+package maxbrstknn
+
+import (
+	"fmt"
+
+	"repro/internal/persist"
+	"repro/internal/storage"
+	"repro/internal/textrel"
+)
+
+// DefaultLoadCacheCapacity is the LRU buffer-pool size (in records) a
+// loaded index uses when LoadOptions leaves CacheCapacity zero: hot tree
+// nodes and posting lists are served from memory, cold ones from disk.
+const DefaultLoadCacheCapacity = 4096
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// CacheCapacity is the number of records the LRU buffer pool in front
+	// of the index file holds. Zero selects DefaultLoadCacheCapacity; a
+	// negative value disables caching entirely, so every node visit and
+	// inverted-file load is a physical read — the cold-serving setting the
+	// paper's Section 8 accounting models.
+	CacheCapacity int
+}
+
+// Save writes the index to a single page-aligned file at path: a
+// crc-checked versioned header, the serialized tree nodes and inverted
+// files (preserving every record's page address), and the dataset with
+// its vocabulary and build options. Load reconstructs an index that
+// answers every query byte-identically to this one.
+//
+// Objects added with AddObject are included; saving is not concurrency
+// safe against in-flight AddObject calls (queries are fine).
+func (ix *Index) Save(path string) error {
+	return persist.Save(path, &persist.Index{
+		Measure:       ix.opts.Measure.kind(),
+		Alpha:         ix.opts.Alpha,
+		ExplicitAlpha: ix.opts.ExplicitAlpha,
+		Lambda:        ix.opts.lambda(),
+		Fanout:        ix.opts.fanout(),
+		DS:            ix.ds,
+		Tree:          ix.mir,
+	})
+}
+
+// Load opens an index saved with Save, serving queries from the index
+// file through an LRU buffer pool (DefaultLoadCacheCapacity records).
+// Close the returned index to release the file.
+func Load(path string) (*Index, error) {
+	return LoadWithOptions(path, LoadOptions{})
+}
+
+// LoadWithOptions is Load with an explicit cache configuration.
+func LoadWithOptions(path string, o LoadOptions) (*Index, error) {
+	capacity := o.CacheCapacity
+	if capacity == 0 {
+		capacity = DefaultLoadCacheCapacity
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	pix, err := persist.Load(path, capacity)
+	if err != nil {
+		return nil, err
+	}
+	measure, err := measureFromKind(pix.Measure)
+	if err != nil {
+		pix.Close()
+		return nil, err
+	}
+	return &Index{
+		ds: pix.DS,
+		opts: Options{
+			Measure:        measure,
+			Alpha:          pix.Alpha,
+			ExplicitAlpha:  pix.ExplicitAlpha,
+			Lambda:         pix.Lambda,
+			ExplicitLambda: true,
+			Fanout:         pix.Fanout,
+		},
+		model:  pix.Tree.Model(),
+		mir:    pix.Tree,
+		closer: pix,
+	}, nil
+}
+
+// Close releases the index file backing a loaded index. It is a no-op
+// for indexes built in memory.
+func (ix *Index) Close() error {
+	if ix.closer == nil {
+		return nil
+	}
+	return ix.closer.Close()
+}
+
+// ReadStats reports the physical reads the index's storage backend served
+// — records fetched from the index file and the pages they span. An
+// in-memory index reports zeros; for a loaded index the page count is the
+// real-I/O figure to hold next to SimulatedIO.
+func (ix *Index) ReadStats() (records, pages int64) {
+	s := storage.BackendReadStats(ix.mir.Backend())
+	return s.Records, s.Pages
+}
+
+// CacheStats reports buffer-pool hits and misses (zeros when the index
+// runs cold, i.e. without a pool).
+func (ix *Index) CacheStats() (hits, misses int64) {
+	return ix.mir.CacheStats()
+}
+
+func measureFromKind(k textrel.MeasureKind) (Measure, error) {
+	switch k {
+	case textrel.LM:
+		return LanguageModel, nil
+	case textrel.TFIDF:
+		return TFIDF, nil
+	case textrel.KO:
+		return KeywordOverlap, nil
+	case textrel.BM25:
+		return BM25Measure, nil
+	default:
+		return 0, fmt.Errorf("maxbrstknn: saved index uses unknown measure %d", int(k))
+	}
+}

@@ -1,0 +1,428 @@
+package maxbrstknn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// randomIndex builds a random index plus a matching request the way the
+// parallel equivalence tests do.
+func randomIndex(t *testing.T, rng *rand.Rand, opts Options) (*Index, Request) {
+	t.Helper()
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	b := NewBuilder()
+	for i := 0; i < 60; i++ {
+		kws := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+		b.AddObject(rng.Float64()*10, rng.Float64()*10, kws...)
+	}
+	idx, err := b.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserSpec, 16)
+	for i := range users {
+		users[i] = UserSpec{
+			X: rng.Float64() * 10, Y: rng.Float64() * 10,
+			Keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+	}
+	req := Request{
+		Users:       users,
+		Locations:   [][2]float64{{2, 2}, {8, 8}, {5, 5}, {1, 9}},
+		Keywords:    words,
+		MaxKeywords: 2,
+		K:           3,
+	}
+	return idx, req
+}
+
+// TestSaveLoadRoundTrip is the core persistence guarantee: a
+// saved-then-loaded index answers every strategy, with and without the
+// parallel engine, byte-identically to the in-memory original — on random
+// instances and for every measure.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dir := t.TempDir()
+	for trial, opts := range []Options{
+		{Measure: LanguageModel},
+		{Measure: TFIDF, Alpha: 0.3},
+		{Measure: KeywordOverlap, Fanout: 8},
+		{Measure: BM25Measure, Lambda: 0.7},
+	} {
+		idx, req := randomIndex(t, rng, opts)
+		path := filepath.Join(dir, fmt.Sprintf("trial%d.mxbr", trial))
+		if err := idx.Save(path); err != nil {
+			t.Fatalf("trial %d: Save: %v", trial, err)
+		}
+		for name, lo := range map[string]LoadOptions{
+			"warm": {},
+			"cold": {CacheCapacity: -1},
+		} {
+			loaded, err := LoadWithOptions(path, lo)
+			if err != nil {
+				t.Fatalf("trial %d %s: Load: %v", trial, name, err)
+			}
+			for _, strat := range []Strategy{Exact, Approx, Exhaustive, UserIndexed} {
+				for _, par := range []ParallelOptions{{}, {Workers: 4, Groups: 3}} {
+					req.Strategy = strat
+					req.Parallel = par
+					want, err := idx.MaxBRSTkNN(req)
+					if err != nil {
+						t.Fatalf("trial %d %v: in-memory: %v", trial, strat, err)
+					}
+					got, err := loaded.MaxBRSTkNN(req)
+					if err != nil {
+						t.Fatalf("trial %d %s %v: loaded: %v", trial, name, strat, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d %s %v parallel=%+v: loaded %+v != in-memory %+v",
+							trial, name, strat, par, got, want)
+					}
+				}
+			}
+			// TopK must agree too, for users on and off the corpus.
+			for i := 0; i < 5; i++ {
+				x, y := rng.Float64()*10, rng.Float64()*10
+				kws := []string{"a", "zzz-unknown"}
+				want, err := idx.TopK(x, y, kws, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.TopK(x, y, kws, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s: TopK: loaded %+v != in-memory %+v", trial, name, got, want)
+				}
+			}
+			if err := loaded.Close(); err != nil {
+				t.Fatalf("trial %d %s: Close: %v", trial, name, err)
+			}
+		}
+	}
+}
+
+// TestLoadedIndexPhysicalReads checks the real-I/O ledger: a cold-loaded
+// index reports physical page reads, and a warm buffer pool absorbs
+// repeat traffic.
+func TestLoadedIndexPhysicalReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	idx, req := randomIndex(t, rng, Options{})
+	path := filepath.Join(t.TempDir(), "ix.mxbr")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if r, p := idx.ReadStats(); r != 0 || p != 0 {
+		t.Fatalf("in-memory index reports physical reads %d/%d", r, p)
+	}
+
+	cold, err := LoadWithOptions(path, LoadOptions{CacheCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	if _, err := cold.MaxBRSTkNN(req); err != nil {
+		t.Fatal(err)
+	}
+	records, pages := cold.ReadStats()
+	if records == 0 || pages == 0 {
+		t.Fatalf("cold index served a query without physical reads (records=%d pages=%d)", records, pages)
+	}
+
+	warm, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if _, err := warm.MaxBRSTkNN(req); err != nil {
+		t.Fatal(err)
+	}
+	_, afterFirst := warm.ReadStats()
+	if _, err := warm.MaxBRSTkNN(req); err != nil {
+		t.Fatal(err)
+	}
+	_, afterSecond := warm.ReadStats()
+	hits, _ := warm.CacheStats()
+	if hits == 0 {
+		t.Fatal("warm index recorded no buffer-pool hits")
+	}
+	if grew := afterSecond - afterFirst; grew >= afterFirst {
+		t.Fatalf("buffer pool absorbed nothing: first query %d pages, second %d", afterFirst, grew)
+	}
+}
+
+// TestLoadedIndexAddObject checks that a loaded index keeps accepting
+// inserts (records land in the memory overlay) and can be saved again.
+func TestLoadedIndexAddObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	idx, req := randomIndex(t, rng, Options{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.mxbr")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	// The inserted object carries a brand-new keyword: corpus statistics,
+	// model arrays, and the space MBR must all stay frozen at their
+	// build-time values on both sides (the load path must not recompute
+	// them over the grown object set).
+	if _, err := loaded.AddObject(3, 3, "a", "brand-new"); err != nil {
+		t.Fatalf("AddObject on loaded index: %v", err)
+	}
+	if _, err := idx.AddObject(3, 3, "a", "brand-new"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := idx.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after AddObject: loaded %+v != in-memory %+v", got, want)
+	}
+	// TopK compares raw scores, so even a tiny statistics drift fails.
+	wantTop, err := idx.TopK(3, 3, []string{"a", "brand-new"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, err := loaded.TopK(3, 3, []string{"a", "brand-new"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop, wantTop) {
+		t.Fatalf("after AddObject: loaded TopK %+v != in-memory %+v", gotTop, wantTop)
+	}
+
+	// Save the grown loaded index and load it once more.
+	path2 := filepath.Join(dir, "ix2.mxbr")
+	if err := loaded.Save(path2); err != nil {
+		t.Fatalf("re-Save of loaded index: %v", err)
+	}
+	reloaded, err := Load(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reloaded.Close()
+	got2, err := reloaded.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("after re-save: reloaded %+v != in-memory %+v", got2, want)
+	}
+	gotTop2, err := reloaded.TopK(3, 3, []string{"a", "brand-new"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop2, wantTop) {
+		t.Fatalf("after re-save: reloaded TopK %+v != in-memory %+v", gotTop2, wantTop)
+	}
+}
+
+// TestLoadRejectsCorruptFiles drives the error paths of the on-disk
+// format: wrong magic, version mismatches, flipped bytes, truncation.
+func TestLoadRejectsCorruptFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	idx, _ := randomIndex(t, rng, Options{})
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.mxbr")
+	if err := idx.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(t *testing.T, name string, mutate func(b []byte) []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		p := write(t, "magic.mxbr", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+		if _, err := Load(p); !errors.Is(err, storage.ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("file version mismatch", func(t *testing.T) {
+		p := write(t, "version.mxbr", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], storage.FormatVersion+1)
+			return b
+		})
+		if _, err := Load(p); !errors.Is(err, storage.ErrVersionMismatch) {
+			t.Fatalf("want ErrVersionMismatch, got %v", err)
+		}
+	})
+	t.Run("header bit flip", func(t *testing.T) {
+		p := write(t, "hdrflip.mxbr", func(b []byte) []byte { b[20] ^= 0x01; return b })
+		if _, err := Load(p); !errors.Is(err, storage.ErrChecksum) {
+			t.Fatalf("want ErrChecksum, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		p := write(t, "trunc.mxbr", func(b []byte) []byte { return b[:len(b)/2] })
+		if _, err := Load(p); !errors.Is(err, storage.ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("directory bit flip", func(t *testing.T) {
+		p := write(t, "dirflip.mxbr", func(b []byte) []byte { b[len(b)-6] ^= 0x40; return b })
+		if _, err := Load(p); !errors.Is(err, storage.ErrChecksum) {
+			t.Fatalf("want ErrChecksum, got %v", err)
+		}
+	})
+	t.Run("empty file", func(t *testing.T) {
+		p := write(t, "empty.mxbr", func([]byte) []byte { return nil })
+		if _, err := Load(p); !errors.Is(err, storage.ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Load(filepath.Join(dir, "nope.mxbr")); err == nil {
+			t.Fatal("want error for missing file")
+		}
+	})
+	// The pristine file must still load after all that.
+	loaded, err := Load(good)
+	if err != nil {
+		t.Fatalf("pristine file: %v", err)
+	}
+	loaded.Close()
+}
+
+// TestFacadeNoPanic asserts that invalid options and requests surface as
+// errors at the facade — no internal validation panic may cross the
+// public API boundary.
+func TestFacadeNoPanic(t *testing.T) {
+	build := func(opts Options) (err error, panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		b := NewBuilder()
+		b.AddObject(1, 1, "x")
+		_, err = b.Build(opts)
+		return err, false
+	}
+	for name, opts := range map[string]Options{
+		"alpha too big":    {Alpha: 1.5},
+		"alpha negative":   {Alpha: -0.1},
+		"alpha NaN":        {Alpha: nan()},
+		"lambda too big":   {Lambda: 2},
+		"lambda negative":  {Lambda: -1},
+		"fanout too small": {Fanout: 2},
+		"unknown measure":  {Measure: Measure(42)},
+	} {
+		err, panicked := build(opts)
+		if panicked {
+			t.Errorf("%s: panic crossed the facade: %v", name, err)
+		} else if err == nil {
+			t.Errorf("%s: Build accepted invalid options", name)
+		}
+	}
+	// Valid edge values must still build.
+	for name, opts := range map[string]Options{
+		"alpha 0 explicit":  {ExplicitAlpha: true},
+		"alpha 1":           {Alpha: 1},
+		"lambda 0 explicit": {ExplicitLambda: true},
+		"lambda 1":          {Lambda: 1},
+		"fanout 4":          {Fanout: 4},
+	} {
+		if err, _ := build(opts); err != nil {
+			t.Errorf("%s: Build rejected valid options: %v", name, err)
+		}
+	}
+
+	// Bad request parameters error rather than panic too.
+	b := NewBuilder()
+	b.AddObject(1, 1, "x")
+	idx, err := b.Build(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.TopK(0, 0, []string{"x"}, 0); err == nil {
+		t.Error("TopK accepted k=0")
+	}
+	if _, err := idx.MaxBRSTkNN(Request{}); err == nil {
+		t.Error("MaxBRSTkNN accepted an empty request")
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// TestUnknownKeywordsNeverMatch is the regression test for the fabricated
+// unknown-TermID hack: unknown query keywords must never match any object.
+// The old code assigned an unknown keyword the id Vocab.Size()+1000+i at
+// document-creation time, so a user document created before the
+// vocabulary grew by 1000+ terms (via AddObject) would silently start
+// matching the freshly assigned real terms.
+func TestUnknownKeywordsNeverMatch(t *testing.T) {
+	b := NewBuilder()
+	b.AddObject(5, 5, "anchor")
+	// alpha=0: scores are pure keyword overlap, so any nonzero score is a
+	// (false) textual match.
+	idx, err := b.Build(Options{Measure: KeywordOverlap, ExplicitAlpha: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The user document with out-of-vocabulary keywords is created now,
+	// while the vocabulary is tiny.
+	users := []UserSpec{{X: 5, Y: 5, Keywords: []string{"never-seen-1", "never-seen-2"}}}
+	s, err := idx.NewSession(users, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the vocabulary far past the old fabrication window: the ids
+	// the hack would have fabricated now belong to real object terms.
+	for i := 0; i < 1200; i++ {
+		if _, err := idx.AddObject(5, 5, fmt.Sprintf("grown-term-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tops, err := s.JointTopKAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tops[0] {
+		if r.Score != 0 {
+			t.Fatalf("unknown keywords matched object %d with score %v", r.ObjectID, r.Score)
+		}
+	}
+
+	// The fresh-document path must stay clean too.
+	res, err := idx.TopK(5, 5, []string{"never-seen-1", "never-seen-2"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Score != 0 {
+			t.Fatalf("TopK: unknown keywords matched object %d with score %v", r.ObjectID, r.Score)
+		}
+	}
+}
