@@ -1,7 +1,9 @@
 GO ?= go
 SMOKEDIR ?= /tmp/maxbrstknn-smoke
+SERVEDIR ?= /tmp/maxbrstknn-serve-smoke
+SERVEADDR ?= 127.0.0.1:18080
 
-.PHONY: all build vet test race bench cli-smoke ci
+.PHONY: all build vet test race bench cli-smoke serve-smoke ci
 
 all: ci
 
@@ -37,4 +39,29 @@ cli-smoke:
 		&& echo "cli-smoke: saved-index answer matches in-memory answer"
 	rm -rf $(SMOKEDIR)
 
-ci: build vet race bench cli-smoke
+# Serving smoke: datagen → saved index → maxbrserve against it, then one
+# query per endpoint plus /healthz and /stats. Guards the HTTP serving
+# layer end to end against a disk-backed index.
+serve-smoke:
+	rm -rf $(SERVEDIR) && mkdir -p $(SERVEDIR)
+	$(GO) build -o $(SERVEDIR)/ ./cmd/...
+	cd $(SERVEDIR) && ./datagen -n 2000 -users 100 -locations 10 -out . >/dev/null
+	cd $(SERVEDIR) && ./maxbrstknn build -data . -out index.mxbr >/dev/null
+	$(SERVEDIR)/maxbrserve -index $(SERVEDIR)/index.mxbr -addr $(SERVEADDR) >$(SERVEDIR)/serve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	set -e; \
+	base=http://$(SERVEADDR); \
+	q='{"users":[{"x":25,"y":40,"keywords":["tag00000","tag00001"]}],"locations":[[25,40],[30,45]],"keywords":["tag00000","tag00001"],"max_keywords":1,"k":3'; \
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 $$base/healthz | grep -q '"status":"ok"'; \
+	curl -sf $$base/topk -d '{"x":25,"y":40,"keywords":["tag00000"],"k":3}' | grep -q '"results"'; \
+	curl -sf $$base/maxbrstknn -d "$$q}" | grep -q '"location_index"'; \
+	curl -sf $$base/maxbrstknn -d "$$q,\"strategy\":\"approx\",\"parallel\":{\"workers\":2}}" | grep -q '"location_index"'; \
+	curl -sf $$base/topl -d "$$q,\"l\":2}" | grep -q '"results"'; \
+	curl -sf $$base/multiple -d "$$q,\"m\":2}" | grep -q '"results"'; \
+	curl -sf $$base/stats | grep -q '"session_cache"'; \
+	curl -sf $$base/stats | grep -q '"physical_records"'; \
+	echo "serve-smoke: all endpoints healthy (session cache + disk-backed index exercised)"
+	rm -rf $(SERVEDIR)
+
+ci: build vet race bench cli-smoke serve-smoke

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/serving"
 	"repro/internal/textrel"
 )
 
@@ -105,6 +106,7 @@ func main() {
 		{"fig14", func() ([]*experiments.Table, error) { return experiments.Fig14(cfg, nil) }},
 		{"fig15", func() ([]*experiments.Table, error) { return experiments.Fig15(cfg, nil) }},
 		{"scaling", func() ([]*experiments.Table, error) { return experiments.FigScaling(cfg) }},
+		{"serving", func() ([]*experiments.Table, error) { return serving.Fig(cfg) }},
 		{"disk", func() ([]*experiments.Table, error) { return experiments.FigDisk(cfg) }},
 		{"ablations", func() ([]*experiments.Table, error) {
 			var out []*experiments.Table

@@ -1,0 +1,123 @@
+// Command maxbrserve is the long-lived MaxBRSTkNN query server: it opens
+// one index and serves it over HTTP/JSON to any number of concurrent
+// clients, caching prepared user-cohort sessions so repeated cohorts skip
+// the expensive joint top-k phase.
+//
+// Serve a saved index file (the production mode — no rebuild on start):
+//
+//	maxbrserve -index ./data/index.mxbr -addr :8080
+//
+// Or build the index in memory from a datagen directory:
+//
+//	maxbrserve -data ./data -addr :8080
+//
+// Query it:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/maxbrstknn -d '{
+//	  "users":[{"x":0.5,"y":0.5,"keywords":["sushi"]}],
+//	  "locations":[[1.5,1.0],[3.5,2.0]],
+//	  "keywords":["sushi","noodles"],
+//	  "max_keywords":1, "k":1,
+//	  "strategy":"exact", "parallel":{"workers":4}}'
+//	curl -s localhost:8080/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
+// in-flight requests get -drain to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	maxbrstknn "repro"
+	"repro/internal/dataset"
+	"repro/internal/indexutil"
+	"repro/internal/server"
+	"repro/internal/vocab"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		indexPath = flag.String("index", "", "saved index file (from `maxbrstknn build`)")
+		dataDir   = flag.String("data", "", "directory holding objects.txt (build in memory instead of -index)")
+		cache     = flag.Int("cache", 0, "buffer-pool records for a loaded index (0 = default, negative = cold)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4×GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		sessions  = flag.Int("sessions", 64, "session-cache capacity in user cohorts (negative = unbounded)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	idx, err := openIndex(*indexPath, *dataDir, *cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer idx.Close()
+
+	srv := server.New(idx, server.Config{
+		Addr:            *addr,
+		MaxInFlight:     *inflight,
+		RequestTimeout:  *timeout,
+		SessionCapacity: *sessions,
+	})
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		fmt.Printf("maxbrserve: serving %d objects on %s\n", idx.NumObjects(), *addr)
+		done <- srv.ListenAndServe()
+	}()
+
+	select {
+	case sig := <-stop:
+		fmt.Printf("maxbrserve: %v, draining for up to %s\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "maxbrserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("maxbrserve: drained cleanly")
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "maxbrserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// openIndex loads a saved index file, or builds one in memory from a
+// datagen directory when -data is given instead.
+func openIndex(indexPath, dataDir string, cache int) (*maxbrstknn.Index, error) {
+	switch {
+	case indexPath != "" && dataDir != "":
+		return nil, fmt.Errorf("maxbrserve: pass -index or -data, not both")
+	case indexPath != "":
+		return maxbrstknn.LoadWithOptions(indexPath, maxbrstknn.LoadOptions{CacheCapacity: cache})
+	case dataDir != "":
+		return buildFromDir(dataDir)
+	default:
+		return nil, fmt.Errorf("maxbrserve: -index <file.mxbr> or -data <dir> required")
+	}
+}
+
+func buildFromDir(dir string) (*maxbrstknn.Index, error) {
+	f, err := os.Open(filepath.Join(dir, "objects.txt"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := dataset.ReadObjects(f, vocab.New())
+	if err != nil {
+		return nil, err
+	}
+	return indexutil.BuilderFromDataset(ds).Build(maxbrstknn.Options{})
+}

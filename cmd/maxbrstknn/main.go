@@ -29,6 +29,7 @@ import (
 	maxbrstknn "repro"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/indexutil"
 	"repro/internal/vocab"
 )
 
@@ -59,12 +60,8 @@ func runBuild(args []string) {
 	)
 	fs.Parse(args)
 
-	v := vocab.New()
-	ds := loadObjects(filepath.Join(*dir, "objects.txt"), v)
-	b := maxbrstknn.NewBuilder()
-	for _, o := range ds.Objects {
-		b.AddObject(o.Loc.X, o.Loc.Y, termStrings(v, o.Doc)...)
-	}
+	ds := loadObjects(filepath.Join(*dir, "objects.txt"), vocab.New())
+	b := indexutil.BuilderFromDataset(ds)
 	opts := maxbrstknn.Options{
 		Measure: parseMeasure(*measure), Fanout: *fanout,
 		Alpha: *alpha, ExplicitAlpha: true,
@@ -120,10 +117,7 @@ func runQuery(args []string) {
 	scratch := vocab.New()
 	users := loadUsers(filepath.Join(*dir, "users.txt"), scratch)
 	locs, kws := loadCandidates(filepath.Join(*dir, "candidates.txt"))
-	specs := make([]maxbrstknn.UserSpec, len(users))
-	for i, u := range users {
-		specs[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: termStrings(scratch, u.Doc)}
-	}
+	specs := indexutil.UserSpecs(scratch, users)
 	req := maxbrstknn.Request{
 		Users:       specs,
 		Locations:   pointPairs(locs),
@@ -158,20 +152,13 @@ func runOneShot(args []string) {
 	users := loadUsers(filepath.Join(*dir, "users.txt"), v)
 	locs, kws := loadCandidates(filepath.Join(*dir, "candidates.txt"))
 
-	b := maxbrstknn.NewBuilder()
-	for _, o := range ds.Objects {
-		b.AddObject(o.Loc.X, o.Loc.Y, termStrings(v, o.Doc)...)
-	}
 	opts := maxbrstknn.Options{Alpha: *alpha, ExplicitAlpha: true, Measure: parseMeasure(*measure)}
-	idx, err := b.Build(opts)
+	idx, err := indexutil.BuilderFromDataset(ds).Build(opts)
 	if err != nil {
 		fail(err)
 	}
 
-	specs := make([]maxbrstknn.UserSpec, len(users))
-	for i, u := range users {
-		specs[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: termStrings(v, u.Doc)}
-	}
+	specs := indexutil.UserSpecs(v, users)
 	req := maxbrstknn.Request{
 		Users:       specs,
 		Locations:   pointPairs(locs),
@@ -309,16 +296,6 @@ func loadCandidates(path string) ([]geo.Point, []string) {
 		fail(err)
 	}
 	return locs, kws
-}
-
-func termStrings(v *vocab.Vocabulary, d vocab.Doc) []string {
-	var out []string
-	d.ForEach(func(t vocab.TermID, f int32) {
-		for i := int32(0); i < f; i++ {
-			out = append(out, v.Term(t))
-		}
-	})
-	return out
 }
 
 func fail(err error) {

@@ -1,0 +1,249 @@
+package maxbrstknn
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Concurrency stress tests: one Index/Session shared by many goroutines,
+// gated on `go test -race`. Every concurrent answer is compared against
+// the sequential oracle, so these double as determinism tests.
+
+// stressInstance builds a moderately sized random index and request.
+func stressInstance(t testing.TB) (*Index, Request) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	b := NewBuilder()
+	for i := 0; i < 200; i++ {
+		kws := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+		b.AddObject(rng.Float64()*10, rng.Float64()*10, kws...)
+	}
+	idx, err := b.Build(Options{Measure: LanguageModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserSpec, 30)
+	for i := range users {
+		users[i] = UserSpec{
+			X: rng.Float64() * 10, Y: rng.Float64() * 10,
+			Keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+	}
+	req := Request{
+		Users:       users,
+		Locations:   [][2]float64{{2, 2}, {8, 8}, {5, 5}, {1, 9}},
+		Keywords:    words,
+		MaxKeywords: 2,
+		K:           3,
+	}
+	return idx, req
+}
+
+func TestConcurrentSessionRun(t *testing.T) {
+	idx, req := stressInstance(t)
+	s, err := idx.NewSession(req.Users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential oracles per strategy.
+	strategies := []Strategy{Exact, Approx, Exhaustive, UserIndexed}
+	want := map[Strategy]Result{}
+	for _, strat := range strategies {
+		req.Strategy = strat
+		res, err := s.Run(req)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		want[strat] = res
+	}
+	req.Strategy = Exact
+	wantTopL, err := s.RunTopL(req, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMultiple, err := s.RunMultiple(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				r := req // local copy
+				r.Strategy = strategies[(g+iter)%len(strategies)]
+				r.Parallel = ParallelOptions{Workers: 1 + g%3}
+				res, err := s.Run(r)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d %v: %v", g, r.Strategy, err)
+					return
+				}
+				if !reflect.DeepEqual(res, want[r.Strategy]) {
+					errc <- fmt.Errorf("goroutine %d %v: %+v != sequential %+v", g, r.Strategy, res, want[r.Strategy])
+					return
+				}
+				// Mix in the extension queries (RunMultiple exercises the
+				// session's write lock against the readers above).
+				r.Strategy = Exact
+				r.Parallel = ParallelOptions{}
+				if g%4 == 0 {
+					got, err := s.RunTopL(r, 3)
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d RunTopL: %v", g, err)
+						return
+					}
+					if !reflect.DeepEqual(got, wantTopL) {
+						errc <- fmt.Errorf("goroutine %d RunTopL diverged", g)
+						return
+					}
+				}
+				if g%4 == 1 {
+					got, err := s.RunMultiple(r, 2)
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d RunMultiple: %v", g, err)
+						return
+					}
+					if !reflect.DeepEqual(got, wantMultiple) {
+						errc <- fmt.Errorf("goroutine %d RunMultiple diverged", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentQueriesOnLoadedIndex(t *testing.T) {
+	idx, req := stressInstance(t)
+	path := filepath.Join(t.TempDir(), "stress.mxbr")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	req.Strategy = Exact
+	want, err := idx.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTopK, err := idx.TopK(5, 5, []string{"a", "b"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := loaded.NewSession(req.Users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				if g%2 == 0 {
+					res, err := s.Run(req)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !reflect.DeepEqual(res, want) {
+						errc <- fmt.Errorf("loaded-index session run %+v != in-memory %+v", res, want)
+						return
+					}
+				} else {
+					got, err := loaded.TopK(5, 5, []string{"a", "b"}, 5)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wantTopK) {
+						errc <- fmt.Errorf("loaded-index TopK %+v != in-memory %+v", got, wantTopK)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestAddObjectConcurrentWithTopK(t *testing.T) {
+	idx, _ := stressInstance(t)
+	before := idx.NumObjects()
+
+	const inserts = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+
+	// One writer stream...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < inserts; i++ {
+			if _, err := idx.AddObject(float64(i%10), float64((i*3)%10), "a", "new"); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// ...against several reader streams. AddObject holds the index's
+	// write lock, so every TopK observes a consistent tree.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				res, err := idx.TopK(5, 5, []string{"a"}, 3)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(res) == 0 {
+					errc <- fmt.Errorf("TopK returned no results")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if got := idx.NumObjects(); got != before+inserts {
+		t.Errorf("NumObjects = %d, want %d", got, before+inserts)
+	}
+	// The inserted objects are queryable afterwards.
+	res, err := idx.TopK(5, 5, []string{"new"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("inserted keyword not found: %+v", res)
+	}
+}

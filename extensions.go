@@ -8,21 +8,27 @@ import (
 
 // RunTopL returns up to l ranked selections — the best candidate
 // locations with their best keyword sets, by descending audience size
-// (the spatial-textual analogue of ℓ-MaxBRkNN). Strategy Exhaustive is
-// not supported here; Exact and Approx behave as in Run.
+// (the spatial-textual analogue of ℓ-MaxBRkNN). Only the Exact and Approx
+// strategies are supported, behaving as in Run; Exhaustive and
+// UserIndexed return an explicit error rather than silently downgrading
+// to Exact.
 func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
 	if req.K != s.k {
 		return nil, errKMismatch(req.K, s.k)
 	}
+	method, err := extensionMethod("RunTopL", req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.ix.mu.RLock()
+	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return nil, err
 	}
-	method := core.KeywordsExact
-	if req.Strategy == Approx {
-		method = core.KeywordsApprox
-	}
+	s.mu.RLock()
 	sels, err := s.engine.SelectTopL(q, method, l)
+	s.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -35,20 +41,30 @@ func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
 
 // RunMultiple greedily places m objects to maximize the number of
 // distinct users covered (each placement gets its own location and
-// keyword set; covered users are excluded from later rounds).
+// keyword set; covered users are excluded from later rounds). Only the
+// Exact and Approx strategies are supported; Exhaustive and UserIndexed
+// return an explicit error rather than silently downgrading to Exact.
+//
+// RunMultiple holds the session's write lock (covered users are excluded
+// by temporarily poisoning their thresholds), so concurrent Run/RunTopL
+// calls wait for it rather than observing the mid-round state.
 func (s *Session) RunMultiple(req Request, m int) ([]Result, error) {
 	if req.K != s.k {
 		return nil, errKMismatch(req.K, s.k)
 	}
+	method, err := extensionMethod("RunMultiple", req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	s.ix.mu.RLock()
+	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return nil, err
 	}
-	method := core.KeywordsExact
-	if req.Strategy == Approx {
-		method = core.KeywordsApprox
-	}
+	s.mu.Lock()
 	sels, err := s.engine.SelectMultiple(q, method, m)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -57,6 +73,19 @@ func (s *Session) RunMultiple(req Request, m int) ([]Result, error) {
 		out[i] = s.buildResult(req, sel, core.UserIndexStats{})
 	}
 	return out, nil
+}
+
+// extensionMethod maps a strategy to the keyword-selection method the
+// extension queries accept, rejecting the strategies they cannot honor.
+func extensionMethod(op string, strat Strategy) (core.KeywordMethod, error) {
+	switch strat {
+	case Approx:
+		return core.KeywordsApprox, nil
+	case Exact:
+		return core.KeywordsExact, nil
+	default:
+		return 0, fmt.Errorf("maxbrstknn: %s does not support the %s strategy (use Exact or Approx)", op, strat)
+	}
 }
 
 func errKMismatch(got, want int) error {

@@ -1,0 +1,35 @@
+package serving
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestFig(t *testing.T) {
+	cfg := experiments.Quick()
+	cfg.NumObjects = 800
+	cfg.NumUsers = 60
+	cfg.Runs = 1
+	tables, err := Fig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "clients") || !strings.Contains(s, "req/s") {
+		t.Fatalf("missing columns in:\n%s", s)
+	}
+	// One library row plus one row per client count. Byte-identity of
+	// every HTTP response against the library answer is asserted inside
+	// FigServing — reaching here means it held for every request.
+	if rows := len(tables[0].Rows); rows != 1+len(servingClientCounts) {
+		t.Fatalf("got %d rows, want %d", rows, 1+len(servingClientCounts))
+	}
+	if tables[0].Rows[0][0] != "library" {
+		t.Fatalf("first row %v, want the library fast path", tables[0].Rows[0])
+	}
+}

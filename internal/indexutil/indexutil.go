@@ -1,0 +1,43 @@
+// Package indexutil bridges parsed or generated datasets to the public
+// facade: the one place that replays internal/dataset objects and users
+// back into keyword strings for the Builder/UserSpec API, so the CLIs
+// and experiments cannot drift apart on keyword reconstruction.
+package indexutil
+
+import (
+	maxbrstknn "repro"
+	"repro/internal/dataset"
+	"repro/internal/vocab"
+)
+
+// KeywordStrings expands a document back into keyword strings — one per
+// occurrence, so term frequencies survive the round trip — using the
+// vocabulary that produced it.
+func KeywordStrings(v *vocab.Vocabulary, d vocab.Doc) []string {
+	out := make([]string, 0, d.Len())
+	d.ForEach(func(t vocab.TermID, f int32) {
+		for i := int32(0); i < f; i++ {
+			out = append(out, v.Term(t))
+		}
+	})
+	return out
+}
+
+// BuilderFromDataset replays ds's objects (in id order) into a facade
+// Builder, preserving locations and term frequencies.
+func BuilderFromDataset(ds *dataset.Dataset) *maxbrstknn.Builder {
+	b := maxbrstknn.NewBuilder()
+	for _, o := range ds.Objects {
+		b.AddObject(o.Loc.X, o.Loc.Y, KeywordStrings(ds.Vocab, o.Doc)...)
+	}
+	return b
+}
+
+// UserSpecs converts dataset users to facade UserSpecs through v.
+func UserSpecs(v *vocab.Vocabulary, users []dataset.User) []maxbrstknn.UserSpec {
+	out := make([]maxbrstknn.UserSpec, len(users))
+	for i, u := range users {
+		out[i] = maxbrstknn.UserSpec{X: u.Loc.X, Y: u.Loc.Y, Keywords: KeywordStrings(v, u.Doc)}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package indexutil
+
+import (
+	"reflect"
+	"testing"
+
+	maxbrstknn "repro"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/vocab"
+)
+
+func TestRoundTripPreservesQueries(t *testing.T) {
+	v := vocab.New()
+	mk := func(kws ...string) vocab.Doc {
+		ids := make([]vocab.TermID, len(kws))
+		for i, kw := range kws {
+			ids[i] = v.Add(kw)
+		}
+		return vocab.DocFromTerms(ids)
+	}
+	objects := []dataset.Object{
+		{ID: 0, Loc: geo.Point{X: 1, Y: 1}, Doc: mk("sushi", "sushi", "fish")},
+		{ID: 1, Loc: geo.Point{X: 4, Y: 2}, Doc: mk("noodles")},
+		{ID: 2, Loc: geo.Point{X: 2, Y: 3}, Doc: mk("fish", "cake")},
+	}
+	ds := dataset.Build(objects, v)
+
+	// The replayed builder must reproduce the dataset exactly: same
+	// object count and identical TopK answers to a directly built index.
+	idx, err := BuilderFromDataset(ds).Build(maxbrstknn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := maxbrstknn.NewBuilder()
+	direct.AddObject(1, 1, "sushi", "sushi", "fish")
+	direct.AddObject(4, 2, "noodles")
+	direct.AddObject(2, 3, "fish", "cake")
+	want, err := direct.Build(maxbrstknn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumObjects() != want.NumObjects() {
+		t.Fatalf("objects %d != %d", idx.NumObjects(), want.NumObjects())
+	}
+	a, err := idx.TopK(2, 2, []string{"fish", "sushi"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := want.TopK(2, 2, []string{"fish", "sushi"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replayed index answers differ: %+v vs %+v", a, b)
+	}
+
+	// KeywordStrings preserves duplicates (term frequency 2 → two strings).
+	kws := KeywordStrings(v, objects[0].Doc)
+	if len(kws) != 3 {
+		t.Fatalf("KeywordStrings = %v, want 3 entries incl. the duplicate", kws)
+	}
+
+	users := []dataset.User{{ID: 0, Loc: geo.Point{X: 1, Y: 2}, Doc: mk("fish")}}
+	specs := UserSpecs(v, users)
+	if len(specs) != 1 || specs[0].X != 1 || specs[0].Y != 2 || !reflect.DeepEqual(specs[0].Keywords, []string{"fish"}) {
+		t.Errorf("UserSpecs = %+v", specs)
+	}
+}

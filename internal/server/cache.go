@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+
+	maxbrstknn "repro"
+)
+
+// sessionCache is an LRU of prepared Sessions keyed by (user set, k).
+// The session's joint top-k phase is the expensive part of every query;
+// caching it means a repeated user cohort pays only for candidate
+// selection. Concurrent requests for the same missing key share one
+// build (singleflight): the first request builds, the rest wait on it.
+type sessionCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used; values are *cacheEntry
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed when sess/err are set
+	sess  *maxbrstknn.Session
+	err   error
+}
+
+func newSessionCache(capacity int) *sessionCache {
+	return &sessionCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// sessionKey digests a user set and k into a fixed-size key: the
+// canonical encoding — exact coordinate bit patterns, length-prefixed
+// keywords, length-prefixed user records — is injective, and hashing it
+// keeps keys O(1) no matter how large the cohort (a near-body-limit
+// request must not pin megabytes of key string in the LRU).
+func sessionKey(users []maxbrstknn.UserSpec, k int) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeInt(k)
+	writeInt(len(users))
+	for _, u := range users {
+		writeFloat(u.X)
+		writeFloat(u.Y)
+		writeInt(len(u.Keywords))
+		for _, kw := range u.Keywords {
+			writeInt(len(kw))
+			h.Write([]byte(kw))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// get returns the cached session for key, building it with build on a
+// miss. Build errors are not cached: the failed entry is removed so the
+// next request retries.
+func (c *sessionCache) get(key string, build func() (*maxbrstknn.Session, error)) (*maxbrstknn.Session, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.ready
+		return e.sess, e.err
+	}
+	c.misses++
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.entries[key] = el
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	e.sess, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Only remove our own entry (it may already have been evicted,
+		// or even replaced after an eviction).
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.sess, e.err
+}
+
+// stats returns the current size and cumulative hit/miss counts.
+func (c *sessionCache) stats() (size int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses
+}

@@ -1,0 +1,185 @@
+// Package server implements the concurrent HTTP/JSON query-serving layer:
+// one long-lived process opens one index (built in memory or loaded from a
+// .mxbr file) and shares it across any number of concurrent clients,
+// amortizing the index cost the way the paper's provider scenario assumes.
+//
+// Endpoints:
+//
+//	POST /maxbrstknn  — one MaxBRSTkNN query (per-request strategy and
+//	                    parallelism)
+//	POST /topl        — the ranked top-L candidate locations
+//	POST /multiple    — m greedy placements covering distinct users
+//	POST /topk        — one user's top-k objects
+//	GET  /stats       — I/O ledger, buffer pool, session cache, in-flight
+//	GET  /healthz     — liveness probe
+//
+// Sessions — the prepared per-user-set joint top-k state — are cached in
+// an LRU keyed by (user set, k), so repeated queries from the same user
+// cohort skip the expensive phase-1 computation entirely and pay only for
+// candidate selection.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	maxbrstknn "repro"
+)
+
+// UserSpec is the wire form of one user.
+type UserSpec struct {
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// ParallelSpec is the wire form of maxbrstknn.ParallelOptions.
+type ParallelSpec struct {
+	Workers int `json:"workers,omitempty"`
+	Groups  int `json:"groups,omitempty"`
+}
+
+// QueryRequest is the body of /maxbrstknn, /topl and /multiple.
+type QueryRequest struct {
+	Users            []UserSpec   `json:"users"`
+	Locations        [][2]float64 `json:"locations"`
+	Keywords         []string     `json:"keywords"`
+	MaxKeywords      int          `json:"max_keywords"`
+	K                int          `json:"k"`
+	ExistingKeywords []string     `json:"existing_keywords,omitempty"`
+	// Strategy is "exact" (default), "approx", "exhaustive" or
+	// "user-indexed". /topl and /multiple accept only the first two.
+	Strategy string       `json:"strategy,omitempty"`
+	Parallel ParallelSpec `json:"parallel,omitempty"`
+	// L is the shortlist length for /topl (default 1).
+	L int `json:"l,omitempty"`
+	// M is the number of placements for /multiple (default 1).
+	M int `json:"m,omitempty"`
+}
+
+// TopKRequest is the body of /topk.
+type TopKRequest struct {
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords,omitempty"`
+	K        int      `json:"k"`
+}
+
+// ParseStrategy maps a wire strategy name to the library constant.
+func ParseStrategy(s string) (maxbrstknn.Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact":
+		return maxbrstknn.Exact, nil
+	case "approx":
+		return maxbrstknn.Approx, nil
+	case "exhaustive":
+		return maxbrstknn.Exhaustive, nil
+	case "user-indexed", "userindexed":
+		return maxbrstknn.UserIndexed, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+// ToRequest converts the wire query into a library Request.
+func (q *QueryRequest) ToRequest() (maxbrstknn.Request, error) {
+	strat, err := ParseStrategy(q.Strategy)
+	if err != nil {
+		return maxbrstknn.Request{}, err
+	}
+	users := make([]maxbrstknn.UserSpec, len(q.Users))
+	for i, u := range q.Users {
+		users[i] = maxbrstknn.UserSpec{X: u.X, Y: u.Y, Keywords: u.Keywords}
+	}
+	return maxbrstknn.Request{
+		Users:            users,
+		Locations:        q.Locations,
+		Keywords:         q.Keywords,
+		MaxKeywords:      q.MaxKeywords,
+		K:                q.K,
+		ExistingKeywords: q.ExistingKeywords,
+		Strategy:         strat,
+		Parallel:         maxbrstknn.ParallelOptions{Workers: q.Parallel.Workers, Groups: q.Parallel.Groups},
+	}, nil
+}
+
+// PruningPayload is the wire form of maxbrstknn.PruningStats.
+type PruningPayload struct {
+	TotalUsers    int     `json:"total_users"`
+	ResolvedUsers int     `json:"resolved_users"`
+	PrunedPercent float64 `json:"pruned_percent"`
+}
+
+// ResultPayload is the wire form of one maxbrstknn.Result.
+type ResultPayload struct {
+	LocationIndex int             `json:"location_index"`
+	Location      [2]float64      `json:"location"`
+	Keywords      []string        `json:"keywords"`
+	UserIDs       []int           `json:"user_ids"`
+	Count         int             `json:"count"`
+	Pruning       *PruningPayload `json:"pruning,omitempty"`
+}
+
+// PayloadFromResult converts a library Result to its wire form.
+func PayloadFromResult(r maxbrstknn.Result) ResultPayload {
+	p := ResultPayload{
+		LocationIndex: r.LocationIndex,
+		Location:      r.Location,
+		Keywords:      r.Keywords,
+		UserIDs:       r.UserIDs,
+		Count:         r.Count(),
+	}
+	if r.Stats.TotalUsers > 0 {
+		p.Pruning = &PruningPayload{
+			TotalUsers:    r.Stats.TotalUsers,
+			ResolvedUsers: r.Stats.ResolvedUsers,
+			PrunedPercent: r.Stats.PrunedPercent,
+		}
+	}
+	return p
+}
+
+// ResultJSON returns exactly the bytes the server writes for one Result —
+// the reference for the byte-identity guarantee: an HTTP round-trip must
+// return ResultJSON(directLibraryResult) verbatim.
+func ResultJSON(r maxbrstknn.Result) ([]byte, error) {
+	return appendNewline(json.Marshal(PayloadFromResult(r)))
+}
+
+// ResultsJSON is ResultJSON for the list responses of /topl and /multiple.
+func ResultsJSON(rs []maxbrstknn.Result) ([]byte, error) {
+	payloads := make([]ResultPayload, len(rs))
+	for i, r := range rs {
+		payloads[i] = PayloadFromResult(r)
+	}
+	return appendNewline(json.Marshal(struct {
+		Results []ResultPayload `json:"results"`
+	}{payloads}))
+}
+
+// RankedPayload is the wire form of one top-k entry.
+type RankedPayload struct {
+	ObjectID int     `json:"object_id"`
+	Score    float64 `json:"score"`
+}
+
+// TopKJSON returns exactly the bytes the server writes for a /topk answer.
+func TopKJSON(rs []maxbrstknn.RankedObject) ([]byte, error) {
+	payloads := make([]RankedPayload, len(rs))
+	for i, r := range rs {
+		payloads[i] = RankedPayload{ObjectID: r.ObjectID, Score: r.Score}
+	}
+	return appendNewline(json.Marshal(struct {
+		Results []RankedPayload `json:"results"`
+	}{payloads}))
+}
+
+// appendNewline matches json.Encoder's trailing newline so helper output
+// and handler output stay byte-identical.
+func appendNewline(b []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

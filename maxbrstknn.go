@@ -67,6 +67,7 @@ package maxbrstknn
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
@@ -221,15 +222,39 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 	return &Index{ds: ds, opts: opts, model: model, mir: mir}, nil
 }
 
-// Index is an immutable spatial-textual object index that answers top-k
-// and MaxBRSTkNN queries. The stored term weights depend only on the
+// Index is a spatial-textual object index that answers top-k and
+// MaxBRSTkNN queries. The stored term weights depend only on the
 // measure; the distance normalization (dmax of Equation 2) is derived per
 // query so it covers the query's users and candidate locations.
+//
+// # Concurrency
+//
+// An Index is safe for concurrent use. Any number of goroutines may run
+// queries (TopK, MaxBRSTkNN, NewSession and the Session methods) against
+// one Index — in-memory or loaded — at the same time; query paths only
+// read the tree and share atomic I/O counters. AddObject is the single
+// mutating operation: it takes the index's write lock, so it is safe to
+// call concurrently with queries but serializes against them — each
+// locked operation observes a structurally consistent tree, either
+// before or after the insert, never mid-split. Note the granularity:
+// the unit of consistency is one locked operation, so a multi-step query
+// (MaxBRSTkNN is session preparation plus a run; a Session outlives its
+// preparation) may span an insert, combining pre-insert thresholds with
+// a post-insert traversal. For answers that reflect a set of inserts,
+// create the session (or run the one-shot query) after they complete.
+// Save takes the read lock and may likewise run concurrently with
+// queries.
 type Index struct {
 	ds    *dataset.Dataset
 	opts  Options
 	model textrel.Model
 	mir   *irtree.Tree
+
+	// mu guards the tree and vocabulary against AddObject: inserts
+	// re-point nodes, grow the pager, and extend the vocabulary, none of
+	// which the read paths tolerate mid-flight. Queries hold the read
+	// lock; AddObject holds the write lock.
+	mu sync.RWMutex
 
 	// closer releases the index file backing a loaded index; nil for
 	// in-memory indexes.
@@ -242,13 +267,23 @@ func (ix *Index) scorerFor(extra ...geo.Rect) *textrel.Scorer {
 }
 
 // NumObjects returns the number of indexed objects.
-func (ix *Index) NumObjects() int { return len(ix.ds.Objects) }
+func (ix *Index) NumObjects() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.ds.Objects)
+}
 
 // AddObject inserts one object into the live index (incremental
 // maintenance, Section 5.1). Term weights use the corpus statistics frozen
 // at Build time — the standard IR practice; rebuild periodically to
 // refresh statistics. Returns the new object's id.
+//
+// AddObject holds the index's write lock for the duration of the insert,
+// so it is safe to call while queries run on other goroutines; concurrent
+// AddObject calls serialize against each other and against queries.
 func (ix *Index) AddObject(x, y float64, keywords ...string) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	terms := make([]vocab.TermID, len(keywords))
 	for i, kw := range keywords {
 		terms[i] = ix.ds.Vocab.Add(kw)
@@ -281,8 +316,10 @@ func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, e
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	scorer := ix.scorerFor(geo.RectFromPoint(geo.Point{X: x, Y: y}))
-	doc := ix.docFromKeywords(keywords)
+	doc := ix.docFromKeywords(keywords, nil)
 	view := irtree.UserView{
 		Area:  geo.RectFromPoint(geo.Point{X: x, Y: y}),
 		Terms: doc.Terms(),
@@ -299,21 +336,57 @@ func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, e
 	return out, nil
 }
 
+// unknownTerms assigns reserved negative ids (vocab.UnknownTerm) to
+// keyword strings missing from the vocabulary. Within one registry the
+// same string always maps to the same id and different strings to
+// different ids, so an unknown keyword shared between a request's
+// existing-keyword document and a user's document matches exactly when
+// the strings match — never by accidental id collision. base is an
+// optional frozen registry (a session's pooled user unknowns) consulted
+// first and never written, so concurrent callers may share one base with
+// private local maps.
+type unknownTerms struct {
+	base  map[string]vocab.TermID
+	local map[string]vocab.TermID
+}
+
+func (u *unknownTerms) id(kw string) vocab.TermID {
+	if id, ok := u.base[kw]; ok {
+		return id
+	}
+	if id, ok := u.local[kw]; ok {
+		return id
+	}
+	id := vocab.UnknownTerm(len(u.base) + len(u.local))
+	if u.local == nil {
+		u.local = make(map[string]vocab.TermID)
+	}
+	u.local[kw] = id
+	return id
+}
+
 // docFromKeywords maps known keywords to a document. Unknown keywords get
 // the reserved negative ids of vocab.UnknownTerm: they still occupy a
 // term slot (diluting the user's normalizer, as a never-matching keyword
 // should) but are guaranteed never to collide with a vocabulary id, no
-// matter how much the vocabulary later grows via AddObject.
-func (ix *Index) docFromKeywords(keywords []string) vocab.Doc {
+// matter how much the vocabulary later grows via AddObject. Repeated
+// unknown strings share one id so their frequency accumulates — exactly
+// how repeated known keywords behave — rather than each occurrence
+// occupying a distinct term slot. unknowns scopes the string→id mapping
+// across documents that will be scored against each other (nil gives the
+// document its own scope). Callers must hold ix.mu (the vocabulary
+// lookup races with AddObject's vocabulary growth otherwise).
+func (ix *Index) docFromKeywords(keywords []string, unknowns *unknownTerms) vocab.Doc {
+	if unknowns == nil {
+		unknowns = &unknownTerms{}
+	}
 	terms := make([]vocab.TermID, 0, len(keywords))
-	unknown := 0
 	for _, kw := range keywords {
 		if id, ok := ix.ds.Vocab.Lookup(kw); ok {
 			terms = append(terms, id)
-		} else {
-			terms = append(terms, vocab.UnknownTerm(unknown))
-			unknown++
+			continue
 		}
+		terms = append(terms, unknowns.id(kw))
 	}
 	return vocab.DocFromTerms(terms)
 }

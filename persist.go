@@ -29,9 +29,13 @@ type LoadOptions struct {
 // its vocabulary and build options. Load reconstructs an index that
 // answers every query byte-identically to this one.
 //
-// Objects added with AddObject are included; saving is not concurrency
-// safe against in-flight AddObject calls (queries are fine).
+// Objects added with AddObject are included. Save holds the index's read
+// lock, so it is safe to call concurrently with queries and with
+// AddObject (the save sees the index either before or after any
+// concurrent insert, never mid-insert).
 func (ix *Index) Save(path string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return persist.Save(path, &persist.Index{
 		Measure:       ix.opts.Measure.kind(),
 		Alpha:         ix.opts.Alpha,

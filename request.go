@@ -2,6 +2,7 @@ package maxbrstknn
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -131,11 +132,52 @@ func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
 // Session holds the prepared per-user thresholds for one user set and one
 // k, so several MaxBRSTkNN requests (different L, W, ws) can share the
 // joint top-k computation — the expensive phase the paper optimizes.
+//
+// # Concurrency
+//
+// A Session is safe for concurrent use: any number of goroutines may call
+// Run, RunTopL, JointTopKAll and Thresholds at the same time. The
+// session's read/write lock guards exactly the prepared engine state
+// (the per-user thresholds): Run's Exact/Approx/Exhaustive paths,
+// RunTopL and Thresholds read it under the read lock, while RunMultiple
+// takes the write lock — it temporarily poisons covered users'
+// thresholds between rounds — so it serializes against those readers.
+// Two paths deliberately bypass that lock because they never touch the
+// poisonable thresholds: JointTopKAll recomputes from the tree, and
+// Run's UserIndexed branch uses its own lazily built MIUR-tree and
+// dedicated engine (whose in-place threshold recomputation is why
+// UserIndexed runs serialize against each other on uiMu while other
+// strategies proceed unblocked). Code extending those two paths to read
+// the session engine's thresholds must start taking mu.
+//
+// A session's prepared thresholds snapshot the index at creation time:
+// Index.AddObject calls made afterwards are visible to the runs'
+// traversals but not to the thresholds, so create a fresh session after
+// inserts whose effect the answer should reflect (see the Index godoc).
 type Session struct {
 	ix     *Index
 	users  []dataset.User
 	k      int
 	engine *core.Engine
+
+	// unknowns is the frozen string→id registry of the cohort's unknown
+	// keywords; buildQuery layers each request's existing-keyword
+	// unknowns on top of it without mutating it.
+	unknowns map[string]vocab.TermID
+
+	// mu guards the prepared engine state: Run/RunTopL only read it
+	// (read lock); RunMultiple temporarily mutates the thresholds
+	// (write lock).
+	mu sync.RWMutex
+
+	// UserIndexed state, built once on first use and reused by every
+	// subsequent UserIndexed Run (the per-Run rebuild defeated the
+	// session's amortization purpose). uiMu serializes UserIndexed runs:
+	// SelectUserIndexed recomputes uiEngine's thresholds in place.
+	uiOnce   sync.Once
+	uiMu     sync.Mutex
+	miur     *miurtree.Tree
+	uiEngine *core.Engine
 }
 
 // NewSession precomputes the thresholds for the user set via the joint
@@ -155,12 +197,20 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	// One unknown-term registry spans all user documents, so distinct
+	// unknown strings get distinct ids across the whole cohort and a
+	// request's existing-keyword document (mapped through the same
+	// frozen registry in buildQuery) matches a user's unknown keyword
+	// exactly when the strings match.
+	unknowns := &unknownTerms{}
 	dsUsers := make([]dataset.User, len(users))
 	for i, u := range users {
 		dsUsers[i] = dataset.User{
 			ID:  int32(i),
 			Loc: geo.Point{X: u.X, Y: u.Y},
-			Doc: ix.docFromKeywords(u.Keywords),
+			Doc: ix.docFromKeywords(u.Keywords, unknowns),
 		}
 	}
 	scorer := ix.scorerFor(dataset.UsersMBR(dsUsers))
@@ -168,12 +218,14 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	if err := engine.PrepareJointParallel(k, opts.core()); err != nil {
 		return nil, err
 	}
-	return &Session{ix: ix, users: dsUsers, k: k, engine: engine}, nil
+	return &Session{ix: ix, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local}, nil
 }
 
 // Thresholds returns the prepared k-th score threshold of each user —
 // RSk(u), the bar a new object must clear to enter the user's top-k.
 func (s *Session) Thresholds() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return append([]float64(nil), s.engine.RSk()...)
 }
 
@@ -182,8 +234,10 @@ func (s *Session) Thresholds() []float64 {
 // match the session.
 func (s *Session) Run(req Request) (Result, error) {
 	if req.K != s.k {
-		return Result{}, fmt.Errorf("maxbrstknn: request k=%d differs from session k=%d", req.K, s.k)
+		return Result{}, errKMismatch(req.K, s.k)
 	}
+	s.ix.mu.RLock()
+	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return Result{}, err
@@ -192,22 +246,46 @@ func (s *Session) Run(req Request) (Result, error) {
 	var sel core.Selection
 	var stats core.UserIndexStats
 	switch req.Strategy {
-	case Exhaustive:
-		sel, err = s.engine.Baseline(q)
-	case Approx:
-		sel, err = s.engine.SelectParallel(q, core.KeywordsApprox, req.Parallel.core())
 	case UserIndexed:
-		scorer := s.engine.Scorer
-		ut := miurtree.Build(s.users, scorer, s.ix.opts.fanout())
-		engine := core.NewEngine(s.ix.mir, scorer, s.users)
-		sel, stats, err = engine.SelectUserIndexed(q, core.KeywordsExact, ut)
+		sel, stats, err = s.runUserIndexed(q)
+	case Exact, Approx, Exhaustive:
+		s.mu.RLock()
+		switch req.Strategy {
+		case Exhaustive:
+			sel, err = s.engine.Baseline(q)
+		case Approx:
+			sel, err = s.engine.SelectParallel(q, core.KeywordsApprox, req.Parallel.core())
+		default:
+			sel, err = s.engine.SelectParallel(q, core.KeywordsExact, req.Parallel.core())
+		}
+		s.mu.RUnlock()
 	default:
-		sel, err = s.engine.SelectParallel(q, core.KeywordsExact, req.Parallel.core())
+		// An out-of-range Strategy is a caller bug; running Exact in its
+		// place would be the silent-downgrade class this layer must not
+		// have.
+		return Result{}, fmt.Errorf("maxbrstknn: unknown strategy %d", int(req.Strategy))
 	}
 	if err != nil {
 		return Result{}, err
 	}
 	return s.buildResult(req, sel, stats), nil
+}
+
+// runUserIndexed answers q with the Section 7 method, building the
+// MIUR-tree and its dedicated engine on first use and reusing them for
+// every later UserIndexed Run on this session. The dedicated engine keeps
+// SelectUserIndexed's in-place threshold recomputation away from the
+// session's prepared state; uiMu serializes UserIndexed runs for the same
+// reason.
+func (s *Session) runUserIndexed(q core.Query) (core.Selection, core.UserIndexStats, error) {
+	s.uiOnce.Do(func() {
+		scorer := s.engine.Scorer
+		s.miur = miurtree.Build(s.users, scorer, s.ix.opts.fanout())
+		s.uiEngine = core.NewEngine(s.ix.mir, scorer, s.users)
+	})
+	s.uiMu.Lock()
+	defer s.uiMu.Unlock()
+	return s.uiEngine.SelectUserIndexed(q, core.KeywordsExact, s.miur)
 }
 
 func (s *Session) buildQuery(req Request) (core.Query, error) {
@@ -220,16 +298,20 @@ func (s *Session) buildQuery(req Request) (core.Query, error) {
 		if id, ok := s.ix.ds.Vocab.Lookup(kw); ok {
 			kws = append(kws, id)
 		}
-		// unknown candidate keywords can never improve any user's score:
-		// no user document contains them (users are mapped through the
-		// same vocabulary), so they are dropped up front
+		// Candidate keywords outside the corpus vocabulary are dropped:
+		// the paper draws W from the corpus, and the selection engine's
+		// bound machinery and result mapping (Vocab.Term) assume
+		// vocabulary ids. Note the corner this leaves documented rather
+		// than supported: a user's *unknown* keyword (which does get a
+		// reserved id, shared with ExistingKeywords when the strings
+		// match) can never be credited through a candidate keyword.
 	}
 	ws := req.MaxKeywords
 	if ws > len(kws) {
 		ws = len(kws)
 	}
 	q := core.Query{
-		OxDoc:     s.ix.docFromKeywords(req.ExistingKeywords),
+		OxDoc:     s.ix.docFromKeywords(req.ExistingKeywords, &unknownTerms{base: s.unknowns}),
 		Locations: locs,
 		Keywords:  kws,
 		WS:        ws,
@@ -265,6 +347,8 @@ func (s *Session) buildResult(req Request, sel core.Selection, stats core.UserIn
 // traversal (Section 5) — exposed because the joint computation is, as the
 // paper notes, of independent interest.
 func (s *Session) JointTopKAll() ([][]RankedObject, error) {
+	s.ix.mu.RLock()
+	defer s.ix.mu.RUnlock()
 	res, err := topk.JointTopK(s.ix.mir, s.engine.Scorer, s.users, s.k)
 	if err != nil {
 		return nil, err

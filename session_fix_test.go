@@ -1,0 +1,203 @@
+package maxbrstknn
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+// Regression tests for the Session-layer bugs fixed alongside the serving
+// subsystem: extension queries silently downgrading unsupported
+// strategies, the per-Run MIUR-tree rebuild, and duplicate unknown
+// keywords occupying distinct term slots.
+
+func TestExtensionsRejectUnsupportedStrategies(t *testing.T) {
+	idx, req := paperExample(t)
+	s, err := idx.NewSession(req.Users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Exhaustive, UserIndexed} {
+		req.Strategy = strat
+		if _, err := s.RunTopL(req, 2); err == nil {
+			t.Errorf("RunTopL(%v) = nil error, want explicit rejection", strat)
+		} else if !strings.Contains(err.Error(), strat.String()) {
+			t.Errorf("RunTopL(%v) error %q does not name the strategy", strat, err)
+		}
+		if _, err := s.RunMultiple(req, 2); err == nil {
+			t.Errorf("RunMultiple(%v) = nil error, want explicit rejection", strat)
+		} else if !strings.Contains(err.Error(), strat.String()) {
+			t.Errorf("RunMultiple(%v) error %q does not name the strategy", strat, err)
+		}
+	}
+	// The supported strategies still work.
+	for _, strat := range []Strategy{Exact, Approx} {
+		req.Strategy = strat
+		if _, err := s.RunTopL(req, 2); err != nil {
+			t.Errorf("RunTopL(%v): %v", strat, err)
+		}
+		if _, err := s.RunMultiple(req, 2); err != nil {
+			t.Errorf("RunMultiple(%v): %v", strat, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownStrategy(t *testing.T) {
+	idx, req := paperExample(t)
+	s, err := idx.NewSession(req.Users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Strategy = Strategy(42)
+	if _, err := s.Run(req); err == nil {
+		t.Error("Run with an out-of-range strategy should error, not silently run Exact")
+	}
+}
+
+func TestUserIndexedRunReusesMIURTree(t *testing.T) {
+	idx, req := paperExample(t)
+	req.Strategy = UserIndexed
+
+	// One-shot answer as the oracle.
+	want, err := idx.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := idx.NewSession(req.Users, req.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.miur != nil {
+		t.Fatal("MIUR-tree built before any UserIndexed run")
+	}
+	first, err := s.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtTree, builtEngine := s.miur, s.uiEngine
+	if builtTree == nil || builtEngine == nil {
+		t.Fatal("first UserIndexed run did not cache the MIUR-tree and engine")
+	}
+	second, err := s.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tree-build work on the second call: the cached tree and engine
+	// are the very same objects.
+	if s.miur != builtTree {
+		t.Error("second UserIndexed run rebuilt the MIUR-tree")
+	}
+	if s.uiEngine != builtEngine {
+		t.Error("second UserIndexed run rebuilt the user-indexed engine")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated UserIndexed runs differ: %+v vs %+v", first, second)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Errorf("session UserIndexed run %+v differs from one-shot %+v", first, want)
+	}
+}
+
+func TestUnknownKeywordDuplicatesShareTermSlot(t *testing.T) {
+	idx, _ := paperExample(t)
+
+	// Repeated unknown strings map to one reserved id with accumulated
+	// frequency — the documented behavior of repeated known keywords.
+	doc := idx.docFromKeywords([]string{"zzz", "zzz"}, nil)
+	if doc.Unique() != 1 {
+		t.Fatalf("[zzz zzz]: %d distinct terms, want 1", doc.Unique())
+	}
+	if got := doc.Freq(vocab.UnknownTerm(0)); got != 2 {
+		t.Fatalf("[zzz zzz]: freq %d, want accumulated 2", got)
+	}
+
+	// Distinct unknown strings still get distinct slots.
+	doc = idx.docFromKeywords([]string{"zzz", "sushi", "zzz", "qqq"}, nil)
+	if doc.Unique() != 3 {
+		t.Fatalf("[zzz sushi zzz qqq]: %d distinct terms, want 3", doc.Unique())
+	}
+	if got := doc.Freq(vocab.UnknownTerm(0)); got != 2 {
+		t.Fatalf("zzz freq %d, want 2", got)
+	}
+	if got := doc.Freq(vocab.UnknownTerm(1)); got != 1 {
+		t.Fatalf("qqq freq %d, want 1", got)
+	}
+}
+
+func TestUnknownKeywordsMatchByStringAcrossDocuments(t *testing.T) {
+	idx, _ := paperExample(t) // vocabulary: {sushi, noodles}
+	users := []UserSpec{
+		{X: 1, Y: 1, Keywords: []string{"aaa"}},
+		{X: 2, Y: 2, Keywords: []string{"qqq"}},
+		{X: 3, Y: 3, Keywords: []string{"zzz"}},
+	}
+	s, err := idx.NewSession(users, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct unknown strings get distinct ids across the whole cohort,
+	// not a per-document numbering that collides between users and the
+	// request's existing-keyword document.
+	a := s.users[0].Doc.Terms()[0]
+	q := s.users[1].Doc.Terms()[0]
+	z := s.users[2].Doc.Terms()[0]
+	if a == q || a == z || q == z {
+		t.Fatalf("cohort unknown ids collide: aaa=%d qqq=%d zzz=%d", a, q, z)
+	}
+
+	req := Request{
+		Users: users, Locations: [][2]float64{{2, 2}},
+		Keywords: []string{"sushi"}, MaxKeywords: 1, K: 1,
+		ExistingKeywords: []string{"zzz", "bbb"},
+	}
+	query, err := s.buildQuery(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared unknown string "zzz" must map to the same id in the ox
+	// document as in user 2's document (the strings genuinely match)...
+	if !query.OxDoc.Has(z) {
+		t.Errorf("ox doc %v does not share the id of the shared unknown string zzz (%d)", query.OxDoc.Terms(), z)
+	}
+	// ...while "bbb" — unknown but shared with nobody — must not collide
+	// with any user's unknown id.
+	if query.OxDoc.Has(a) || query.OxDoc.Has(q) {
+		t.Errorf("ox doc %v collides with an unshared user unknown id (aaa=%d qqq=%d)", query.OxDoc.Terms(), a, q)
+	}
+}
+
+func TestUnknownKeywordDuplicateScoring(t *testing.T) {
+	idx, _ := paperExample(t) // KeywordOverlap: Norm(u) counts distinct terms
+
+	// A duplicated unknown keyword must dilute the normalizer exactly
+	// once, like a duplicated known keyword does — so ["sushi" zzz zzz]
+	// scores identically to ["sushi" zzz], mirroring how
+	// ["sushi" sushi] scores identically to ["sushi"]. Before the fix
+	// the duplicate occupied a second term slot and shrank every score.
+	dup, err := idx.TopK(4.0, 8.0, []string{"sushi", "zzz", "zzz"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := idx.TopK(4.0, 8.0, []string{"sushi", "zzz"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dup, single) {
+		t.Errorf("duplicate unknown keyword changed scores:\n[sushi zzz zzz]: %+v\n[sushi zzz]:     %+v", dup, single)
+	}
+
+	knownDup, err := idx.TopK(4.0, 8.0, []string{"sushi", "sushi"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knownSingle, err := idx.TopK(4.0, 8.0, []string{"sushi"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(knownDup, knownSingle) {
+		t.Errorf("duplicate known keyword changed scores:\n[sushi sushi]: %+v\n[sushi]:       %+v", knownDup, knownSingle)
+	}
+}
