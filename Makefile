@@ -3,7 +3,7 @@ SMOKEDIR ?= /tmp/maxbrstknn-smoke
 SERVEDIR ?= /tmp/maxbrstknn-serve-smoke
 SERVEADDR ?= 127.0.0.1:18080
 
-.PHONY: all build vet test race bench cli-smoke serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ci
 
 all: ci
 
@@ -23,6 +23,13 @@ race:
 # Short benchmark smoke: every benchmark must at least run once.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Hotpath bench smoke: the decoded-cache hot-path experiment at tiny
+# scale. It fails on any result-equivalence mismatch between the cold
+# (decode-everything) and warm (decoded-cache + scratch) configurations —
+# never on timing — keeping the perf code exercised on every push.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -exp hotpath -quick
 
 # Save/load CLI smoke: datagen → build a saved index → query it, and
 # require the answer to match the in-memory one-shot pipeline. Guards the
@@ -64,4 +71,4 @@ serve-smoke:
 	echo "serve-smoke: all endpoints healthy (session cache + disk-backed index exercised)"
 	rm -rf $(SERVEDIR)
 
-ci: build vet race bench cli-smoke serve-smoke
+ci: build vet race bench bench-smoke cli-smoke serve-smoke

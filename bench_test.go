@@ -31,6 +31,11 @@ func benchWorkload(b *testing.B) *experiments.Workload {
 		cfg.NumLocs = 20
 		cfg.UW = 15
 		cfg.WS = 2
+		// Benchmarks measure wall time (never simulated I/O), so they run
+		// the warm serving configuration: decoded nodes and posting lists
+		// are cached and reused across iterations, exactly as maxbrserve
+		// reuses them across requests.
+		cfg.DecodedCacheBytes = DefaultDecodedCacheBytes
 		benchW = experiments.NewWorkload(cfg, 0)
 
 		ycfg := cfg

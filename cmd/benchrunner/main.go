@@ -10,9 +10,15 @@
 //	benchrunner -exp table4 -quick       # smoke scale
 //	benchrunner -exp scaling -groups 8   # parallel-engine speedup figure
 //	benchrunner -exp disk                # cold vs warm disk-backed serving
+//	benchrunner -exp hotpath -quick      # decoded-cache + scratch hot path
 //
 // Experiments: table4 table5 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations scaling disk.
+// fig13 fig14 fig15 ablations scaling disk hotpath.
+//
+// The hotpath experiment verifies result equivalence between the cold
+// (decode-everything) and warm (decoded-cache) configurations and errors
+// on any mismatch; -benchout additionally writes its JSON report (ns/op,
+// allocs/op, cache hit rates) to the given file.
 //
 // The scaling experiment sweeps the parallel engine over 1/2/4/8 workers;
 // -groups pins the super-user group count across the sweep (default: one
@@ -22,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,15 +42,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment list (or 'all')")
-		quick   = flag.Bool("quick", false, "use the small smoke-test configuration")
-		objects = flag.Int("objects", 0, "override |O|")
-		users   = flag.Int("users", 0, "override |U|")
-		runs    = flag.Int("runs", 0, "override user-set repetitions")
-		measure = flag.String("measure", "", "text measure: lm, tfidf, ko")
-		seed    = flag.Int64("seed", 0, "override dataset seed")
-		workers = flag.Int("workers", 0, "parallel engine workers (0 = sequential)")
-		groups  = flag.Int("groups", 0, "super-user groups for the parallel joint phase (0 = one per worker)")
+		exp      = flag.String("exp", "all", "comma-separated experiment list (or 'all')")
+		quick    = flag.Bool("quick", false, "use the small smoke-test configuration")
+		objects  = flag.Int("objects", 0, "override |O|")
+		users    = flag.Int("users", 0, "override |U|")
+		runs     = flag.Int("runs", 0, "override user-set repetitions")
+		measure  = flag.String("measure", "", "text measure: lm, tfidf, ko")
+		seed     = flag.Int64("seed", 0, "override dataset seed")
+		workers  = flag.Int("workers", 0, "parallel engine workers (0 = sequential)")
+		groups   = flag.Int("groups", 0, "super-user groups for the parallel joint phase (0 = one per worker)")
+		benchout = flag.String("benchout", "", "write the hotpath experiment's JSON report to this file")
 	)
 	flag.Parse()
 
@@ -108,6 +116,22 @@ func main() {
 		{"scaling", func() ([]*experiments.Table, error) { return experiments.FigScaling(cfg) }},
 		{"serving", func() ([]*experiments.Table, error) { return serving.Fig(cfg) }},
 		{"disk", func() ([]*experiments.Table, error) { return experiments.FigDisk(cfg) }},
+		{"hotpath", func() ([]*experiments.Table, error) {
+			tables, rep, err := experiments.FigHotpathReport(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *benchout != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return tables, nil
+		}},
 		{"ablations", func() ([]*experiments.Table, error) {
 			var out []*experiments.Table
 			for _, fn := range []func(experiments.Config) (*experiments.Table, error){

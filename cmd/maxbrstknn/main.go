@@ -213,9 +213,11 @@ func answer(idx *maxbrstknn.Index, req maxbrstknn.Request, topL int) {
 	fmt.Printf("elapsed: %.1f ms, simulated I/O: %d\n",
 		float64(time.Since(start).Microseconds())/1000, idx.SimulatedIO())
 	if records, pages := idx.ReadStats(); records > 0 {
-		hits, misses := idx.CacheStats()
+		cs := idx.CacheStats()
 		fmt.Printf("physical reads: %d records / %d pages, buffer pool: %d hits / %d misses\n",
-			records, pages, hits, misses)
+			records, pages, cs.BufferHits, cs.BufferMisses)
+		fmt.Printf("decoded cache: %d hits / %d misses / %d evictions, %d entries, %d bytes resident\n",
+			cs.DecodedHits, cs.DecodedMisses, cs.DecodedEvictions, cs.DecodedEntries, cs.DecodedBytes)
 	}
 }
 

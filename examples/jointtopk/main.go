@@ -27,7 +27,11 @@ func main() {
 		kws := []string{topics[rng.Intn(len(topics))], topics[rng.Intn(len(topics))]}
 		b.AddObject(rng.Float64()*50, rng.Float64()*50, kws...)
 	}
-	idx, err := b.Build(maxbrstknn.Options{})
+	// This example demonstrates the paper's simulated-I/O comparison, so
+	// disable the decoded-object cache: with it on (the default), repeat
+	// visits charge no I/O and both counters below would collapse to the
+	// first traversal's charges.
+	idx, err := b.Build(maxbrstknn.Options{DecodedCacheBytes: -1})
 	if err != nil {
 		log.Fatal(err)
 	}

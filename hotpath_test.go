@@ -1,0 +1,112 @@
+package maxbrstknn
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildPairedIndexes builds two indexes over identical objects: one with
+// the decoded-object cache disabled (every read decodes — the accounting
+// configuration) and one with it enabled (the warm serving
+// configuration). The request exercises known and unknown keywords.
+func buildPairedIndexes(t *testing.T, seed int64, opts Options) (off, on *Index, req Request) {
+	t.Helper()
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	build := func(cacheBytes int64) *Index {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		for i := 0; i < 80; i++ {
+			kws := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+			b.AddObject(rng.Float64()*10, rng.Float64()*10, kws...)
+		}
+		o := opts
+		o.DecodedCacheBytes = cacheBytes
+		idx, err := b.Build(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	off, on = build(-1), build(0)
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	users := make([]UserSpec, 14)
+	for i := range users {
+		users[i] = UserSpec{
+			X: rng.Float64() * 10, Y: rng.Float64() * 10,
+			Keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+	}
+	req = Request{
+		Users:       users,
+		Locations:   [][2]float64{{2, 2}, {8, 8}, {5, 5}},
+		Keywords:    append([]string{"zzz-unknown"}, words...),
+		MaxKeywords: 2,
+		K:           3,
+	}
+	return off, on, req
+}
+
+// TestDecodedCacheEquivalence is the tentpole guarantee of the hot-path
+// rework: the flat inverted-file layout plus the decoded-object cache are
+// pure performance — answers are byte-identical with the cache on or off,
+// for every strategy × ParallelOptions × (in-memory | loaded-from-disk),
+// including repeated (fully warm) runs.
+func TestDecodedCacheEquivalence(t *testing.T) {
+	for trial, opts := range []Options{
+		{Measure: LanguageModel},
+		{Measure: TFIDF, Alpha: 0.3},
+		{Measure: KeywordOverlap, Fanout: 8},
+	} {
+		off, on, req := buildPairedIndexes(t, int64(41+trial), opts)
+
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("trial%d.mxbr", trial))
+		if err := on.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loadedOff, err := LoadWithOptions(path, LoadOptions{DecodedCacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loadedOff.Close()
+		loadedOn, err := LoadWithOptions(path, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer loadedOn.Close()
+
+		for _, strat := range []Strategy{Exact, Approx, Exhaustive, UserIndexed} {
+			for _, par := range []ParallelOptions{{}, {Workers: 4, Groups: 3}} {
+				req.Strategy = strat
+				req.Parallel = par
+				want, err := off.MaxBRSTkNN(req)
+				if err != nil {
+					t.Fatalf("trial %d %v: cache-off: %v", trial, strat, err)
+				}
+				for name, idx := range map[string]*Index{
+					"built+cache": on, "loaded+cold": loadedOff, "loaded+cache": loadedOn,
+				} {
+					for round := 0; round < 2; round++ { // round 1 runs fully warm
+						got, err := idx.MaxBRSTkNN(req)
+						if err != nil {
+							t.Fatalf("trial %d %s %v round %d: %v", trial, name, strat, round, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("trial %d %s %v parallel=%+v round %d: %+v != cache-off %+v",
+								trial, name, strat, par, round, got, want)
+						}
+					}
+				}
+			}
+		}
+		if cs := on.CacheStats(); cs.DecodedHits == 0 {
+			t.Fatalf("trial %d: decoded cache never hit: %+v", trial, cs)
+		}
+		if cs := loadedOff.CacheStats(); cs.DecodedHits+cs.DecodedMisses != 0 {
+			t.Fatalf("trial %d: disabled decoded cache recorded traffic: %+v", trial, cs)
+		}
+	}
+}

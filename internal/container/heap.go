@@ -55,8 +55,12 @@ func (h *Heap[T]) Peek() (T, float64) {
 	return h.items[0].value, h.items[0].key
 }
 
-// Clear removes all items, retaining the allocated capacity.
-func (h *Heap[T]) Clear() { h.items = h.items[:0] }
+// Clear removes all items, retaining the allocated capacity. Cleared
+// slots are zeroed so reused heaps do not pin old values' referents.
+func (h *Heap[T]) Clear() {
+	clear(h.items)
+	h.items = h.items[:0]
+}
 
 // Items returns the values currently in the heap in unspecified order.
 func (h *Heap[T]) Items() []T {
@@ -160,6 +164,17 @@ func (t *TopK[T]) Offer(value T, score float64) (evicted T, evictedScore float64
 
 // Items returns the retained items in unspecified order.
 func (t *TopK[T]) Items() []T { return t.heap.Items() }
+
+// Reset empties the TopK and re-arms it for the k highest-scored items,
+// retaining the allocated capacity — the reuse path of per-worker query
+// scratch. k must be positive.
+func (t *TopK[T]) Reset(k int) {
+	if k <= 0 {
+		panic("container: TopK requires k > 0")
+	}
+	t.k = k
+	t.heap.Clear()
+}
 
 // PopAscending drains the structure, returning items from worst to best
 // score. The TopK is empty afterwards.

@@ -38,6 +38,18 @@ func worse[T any](a, b stableEntry[T]) bool {
 // Len returns the number of retained items (at most k).
 func (t *StableTopK[T]) Len() int { return len(t.items) }
 
+// Reset empties the StableTopK and re-arms it for the k best items,
+// retaining the allocated capacity — the reuse path of per-worker query
+// scratch. k must be positive.
+func (t *StableTopK[T]) Reset(k int) {
+	if k <= 0 {
+		panic("container: StableTopK requires k > 0")
+	}
+	t.k = k
+	clear(t.items)
+	t.items = t.items[:0]
+}
+
 // Full reports whether k items are retained.
 func (t *StableTopK[T]) Full() bool { return len(t.items) >= t.k }
 

@@ -96,4 +96,3 @@ func (e *Engine) SelectMultiple(q Query, method KeywordMethod, m int) ([]Selecti
 	}
 	return out, nil
 }
-

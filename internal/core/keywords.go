@@ -34,7 +34,7 @@ func (e *Engine) prepareExact(q Query, lc locCandidate, w textrel.CandidateSet) 
 	// LBL(ℓ,u) = exact zero-keyword STS ≥ RSk(u)) count for every
 	// combination under addition-monotone models; under LM an added
 	// keyword can dilute their score below RSk(u), so they stay contested
-	// (tupleUsers re-scores them per combination).
+	// (tupleUsersInto re-scores them per combination).
 	var alwaysIn []int32
 	var contested []contestedUser
 	monotone := e.Scorer.Model.AdditionMonotone()
@@ -87,25 +87,39 @@ func (p *exactPrep) units() []exactUnit {
 	return out
 }
 
+// exactScratch holds one worker's reusable buffers for the combination
+// scan: the combination being evaluated, the qualifying-user list, and
+// the merged-document buffers — the per-combination allocations of the
+// scan, paid once per worker instead. The zero value is ready to use; a
+// scratch must not be shared between concurrent scans.
+type exactScratch struct {
+	combo []vocab.TermID
+	users []int32
+	merge vocab.MergeScratch
+}
+
 // scanUnit evaluates one unit's combinations in enumeration order,
 // returning the first selection (if any) strictly beating the floor count
 // and every earlier combination in the unit.
-func (e *Engine) scanUnit(q Query, p *exactPrep, u exactUnit) (Selection, bool) {
+func (e *Engine) scanUnit(q Query, p *exactPrep, u exactUnit, sc *exactScratch) (Selection, bool) {
 	best := Selection{}
 	bestCount := p.bare.Count()
 	found := false
-	combo := make([]vocab.TermID, u.size)
+	if cap(sc.combo) < u.size {
+		sc.combo = make([]vocab.TermID, u.size)
+	}
+	combo := sc.combo[:u.size]
 	combo[0] = p.cand[u.lead]
 	container.Combinations(p.cand[u.lead+1:], u.size-1, func(rest []vocab.TermID) bool {
 		copy(combo[1:], rest)
-		users := e.tupleUsers(q, p.li, combo, p.contested, p.alwaysIn)
+		users := e.tupleUsersInto(q, p.li, combo, p.contested, p.alwaysIn, sc)
 		if len(users) > bestCount {
 			bestCount = len(users)
 			best = Selection{
 				LocIndex: p.li,
 				Location: q.Locations[p.li],
 				Keywords: append([]vocab.TermID(nil), combo...),
-				Users:    users,
+				Users:    append([]int32(nil), users...),
 			}
 			found = true
 		}
@@ -126,8 +140,9 @@ func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.Candida
 	best := p.bare
 
 	if workers <= 1 || len(units) <= 1 {
+		var sc exactScratch // reused across the whole sequential scan
 		for _, u := range units {
-			if sel, ok := e.scanUnit(q, &p, u); ok && sel.Count() > best.Count() {
+			if sel, ok := e.scanUnit(q, &p, u, &sc); ok && sel.Count() > best.Count() {
 				best = sel
 			}
 		}
@@ -136,8 +151,9 @@ func (e *Engine) selectKeywordsExact(q Query, lc locCandidate, w textrel.Candida
 
 	sels := make([]Selection, len(units))
 	found := make([]bool, len(units))
-	parallel.ForN(len(units), workers, func(i int) {
-		sels[i], found[i] = e.scanUnit(q, &p, units[i])
+	scratches := make([]exactScratch, parallel.Workers(len(units), workers))
+	parallel.ForNWorkers(len(units), workers, func(w, i int) {
+		sels[i], found[i] = e.scanUnit(q, &p, units[i], &scratches[w])
 	})
 	for i := range units {
 		if found[i] && sels[i].Count() > best.Count() {
@@ -156,15 +172,17 @@ type contestedUser struct {
 	bareQualified bool
 }
 
-// tupleUsers counts the BRSTkNN of 〈location li, ox.d ∪ combo〉: the
+// tupleUsersInto counts the BRSTkNN of 〈location li, ox.d ∪ combo〉: the
 // always-qualifying users plus every contested user whose exact score with
 // the combination clears their threshold. Contested users sharing no
 // keyword with the combination are skipped unless they qualified on the
 // bare description — additions can only lower their score (strictly, under
-// LM) or leave it unchanged, never raise it.
-func (e *Engine) tupleUsers(q Query, li int, combo []vocab.TermID, contested []contestedUser, alwaysIn []int32) []int32 {
-	users := append([]int32(nil), alwaysIn...)
-	doc := q.OxDoc.MergeTerms(combo)
+// LM) or leave it unchanged, never raise it. The returned slice aliases
+// the scratch and stays valid only until its next use; callers retaining
+// it must copy.
+func (e *Engine) tupleUsersInto(q Query, li int, combo []vocab.TermID, contested []contestedUser, alwaysIn []int32, sc *exactScratch) []int32 {
+	users := append(sc.users[:0], alwaysIn...)
+	doc := q.OxDoc.MergeTermsInto(combo, &sc.merge)
 	for _, c := range contested {
 		if !c.bareQualified && !overlapsAny(e.Users[c.ui].Doc, combo) {
 			continue // added keywords cannot raise this user's score
@@ -173,6 +191,7 @@ func (e *Engine) tupleUsers(q Query, li int, combo []vocab.TermID, contested []c
 			users = append(users, e.Users[c.ui].ID)
 		}
 	}
+	sc.users = users
 	return users
 }
 

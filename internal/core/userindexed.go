@@ -76,6 +76,9 @@ func (e *Engine) SelectUserIndexed(q Query, method KeywordMethod, ut *miurtree.T
 	if err != nil {
 		return Selection{}, stats, err
 	}
+	// One pruning index for the shared traversal: every leaf expansion
+	// refines against the same candidate list.
+	ri := topk.NewRefineIndex(tr)
 
 	// Install engine state so the keyword selectors can score users.
 	e.preparedK = q.K
@@ -93,7 +96,7 @@ func (e *Engine) SelectUserIndexed(q Query, method KeywordMethod, ut *miurtree.T
 	if err != nil {
 		return Selection{}, stats, err
 	}
-	initial, err := e.elementsOf(rootNode, tr, cands, q, &stats)
+	initial, err := e.elementsOf(rootNode, tr, ri, cands, q, &stats)
 	if err != nil {
 		return Selection{}, stats, err
 	}
@@ -169,7 +172,7 @@ func (e *Engine) SelectUserIndexed(q Query, method KeywordMethod, ut *miurtree.T
 			if err != nil {
 				return Selection{}, stats, err
 			}
-			children, err := e.elementsOf(node, tr, cands, q, &stats)
+			children, err := e.elementsOf(node, tr, ri, cands, q, &stats)
 			if err != nil {
 				return Selection{}, stats, err
 			}
@@ -203,7 +206,7 @@ func (e *Engine) SelectUserIndexed(q Query, method KeywordMethod, ut *miurtree.T
 // shared traversal candidates; internal entries get the k-th best
 // candidate lower bound w.r.t. their aggregate (a sound RSk lower bound
 // for every user beneath).
-func (e *Engine) elementsOf(node *miurtree.NodeData, tr *topk.TraversalResult, cands []topk.BoundedObject, q Query, stats *UserIndexStats) ([]*luElement, error) {
+func (e *Engine) elementsOf(node *miurtree.NodeData, tr *topk.TraversalResult, ri topk.RefineIndex, cands []topk.BoundedObject, q Query, stats *UserIndexStats) ([]*luElement, error) {
 	out := make([]*luElement, 0, len(node.Entries))
 	if node.Leaf {
 		users := make([]dataset.User, len(node.Entries))
@@ -212,7 +215,7 @@ func (e *Engine) elementsOf(node *miurtree.NodeData, tr *topk.TraversalResult, c
 			users[i] = e.Users[en.Child]
 			norms[i] = e.norms[en.Child]
 		}
-		per := topk.IndividualTopK(e.Tree.Dataset(), e.Scorer, users, norms, tr, q.K)
+		per := topk.IndividualTopKWith(e.Tree.Dataset(), e.Scorer, users, norms, tr, ri, q.K)
 		for i, en := range node.Entries {
 			ui := int(en.Child)
 			e.rsk[ui] = per[i].RSk

@@ -58,6 +58,12 @@ type Config struct {
 	// reads only Groups (to pin the group count across the sweep).
 	Workers int
 	Groups  int
+	// DecodedCacheBytes budgets the decoded-object cache of the
+	// workload's trees. Zero — the default for every paper figure —
+	// keeps the trees cold so every node visit charges simulated I/O,
+	// the Section 8 accounting. FigHotpath (and the root benchmarks)
+	// opt in to measure the warm serving path.
+	DecodedCacheBytes int64
 }
 
 // Default returns the scaled equivalent of the paper's bold defaults

@@ -114,7 +114,11 @@ func FigDisk(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 
-		cold, err := persist.Load(path, 0)
+		// Both loads disable the decoded-object cache: this figure measures
+		// the byte-level ledgers (simulated I/O, physical reads, buffer
+		// pool), and its cold cross-check requires every read to reach the
+		// medium. The decoded cache has its own experiment (FigHotpath).
+		cold, err := persist.Load(path, 0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +129,7 @@ func FigDisk(cfg Config) ([]*Table, error) {
 		}
 		cold.Close()
 
-		warm, err := persist.Load(path, diskWarmCache)
+		warm, err := persist.Load(path, diskWarmCache, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigHotpath runs the hotpath experiment at unit-test scale: every
+// variant must pass the result-equivalence gate, the cache-on variants
+// must actually hit the decoded cache, and the JSON report must carry the
+// fields BENCH_hotpath.json records.
+func TestFigHotpath(t *testing.T) {
+	cfg := Quick()
+	cfg.NumObjects = 800
+	cfg.NumUsers = 50
+	cfg.Runs = 1
+	tables, rep, err := FigHotpathReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "hit rate") {
+		t.Fatalf("missing hit-rate column in:\n%s", tables[0].String())
+	}
+	if len(rep.Variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(rep.Variants))
+	}
+	for _, v := range rep.Variants {
+		if v.NsPerOp <= 0 || v.AllocsPerOp < 0 {
+			t.Fatalf("variant %q has implausible measurements: %+v", v.Name, v)
+		}
+		cacheOn := strings.Contains(v.Name, "cache-on")
+		if cacheOn && v.CacheHitRate == 0 {
+			t.Fatalf("variant %q never hit the decoded cache: %+v", v.Name, v)
+		}
+		if !cacheOn && (v.CacheHits != 0 || v.CacheMisses != 0) {
+			t.Fatalf("variant %q recorded decoded-cache traffic while disabled: %+v", v.Name, v)
+		}
+	}
+}

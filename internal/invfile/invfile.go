@@ -5,10 +5,18 @@
 // For the plain IR-tree the minimum weights are simply ignored. Files are
 // serialized with varint encoding and stored through storage.Pager, so the
 // simulated I/O charge (blocks = ⌈bytes/4096⌉) reflects real list sizes.
+//
+// In memory a File uses a flat, decode-once layout: one sorted term-id
+// slice, a parallel offset slice, and a single contiguous posting slice.
+// Term lookup is a binary search and iteration is cache-friendly — no maps
+// and no per-term allocations on the query hot path. The byte encoding is
+// unchanged from the original map-based representation, so files written
+// by earlier versions of this package load bit-for-bit.
 package invfile
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/storage"
@@ -27,45 +35,144 @@ type Posting struct {
 	MinW float64
 }
 
-// File is the inverted file of one tree node: a posting list per term.
+// postingBytes approximates the resident size of one Posting (int32 padded
+// to 8 bytes plus two float64s) for cache byte accounting.
+const postingBytes = 24
+
+// File is the inverted file of one tree node: a posting list per term,
+// held in a flat layout. terms is ascending; the postings of terms[i] are
+// postings[starts[i]:starts[i+1]], ascending in Entry.
+//
+// Concurrency: a File that is only read (every file returned by Decode or
+// a decoded-object cache) is immutable and safe to share between
+// goroutines. Add stages postings in a pending buffer that the next read
+// accessor merges in, so a File being built must be confined to one
+// goroutine until its last Add.
 type File struct {
-	lists map[vocab.TermID][]Posting
+	terms    []vocab.TermID
+	starts   []int32 // len(terms)+1 when terms non-empty
+	postings []Posting
+
+	pending []pendingPosting
+}
+
+// pendingPosting is one Add not yet merged into the flat arrays.
+type pendingPosting struct {
+	term vocab.TermID
+	p    Posting
 }
 
 // New returns an empty inverted file.
 func New() *File {
-	return &File{lists: make(map[vocab.TermID][]Posting)}
+	return &File{}
 }
 
 // Add appends a posting for term t. Postings for one term should be added
-// in ascending entry order (Encode sorts defensively).
+// in ascending entry order (the flat merge sorts defensively).
 func (f *File) Add(t vocab.TermID, p Posting) {
-	f.lists[t] = append(f.lists[t], p)
+	f.pending = append(f.pending, pendingPosting{term: t, p: p})
 }
 
-// Postings returns the posting list for t (nil when absent). The slice is
-// owned by the file; callers must not modify it.
-func (f *File) Postings(t vocab.TermID) []Posting { return f.lists[t] }
+// freeze merges pending Adds into the flat layout. It is a no-op (and
+// therefore safe on shared read-only files) when nothing is pending.
+func (f *File) freeze() {
+	if len(f.pending) == 0 {
+		return
+	}
+	merged := make([]pendingPosting, 0, len(f.postings)+len(f.pending))
+	for i, t := range f.terms {
+		for _, p := range f.postings[f.starts[i]:f.starts[i+1]] {
+			merged = append(merged, pendingPosting{term: t, p: p})
+		}
+	}
+	merged = append(merged, f.pending...)
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].term != merged[j].term {
+			return merged[i].term < merged[j].term
+		}
+		return merged[i].p.Entry < merged[j].p.Entry
+	})
+
+	f.pending = nil
+	f.terms = f.terms[:0]
+	f.starts = f.starts[:0]
+	f.postings = make([]Posting, 0, len(merged))
+	for _, m := range merged {
+		if n := len(f.terms); n == 0 || f.terms[n-1] != m.term {
+			f.terms = append(f.terms, m.term)
+			f.starts = append(f.starts, int32(len(f.postings)))
+		}
+		f.postings = append(f.postings, m.p)
+	}
+	f.starts = append(f.starts, int32(len(f.postings)))
+}
+
+// termIndex returns the position of t in the sorted term slice, or -1.
+func (f *File) termIndex(t vocab.TermID) int {
+	if i, ok := slices.BinarySearch(f.terms, t); ok {
+		return i
+	}
+	return -1
+}
+
+// Postings returns the posting list for t (nil when absent). The slice
+// aliases the file's flat layout; callers must not modify it and must not
+// retain it across a subsequent Add.
+func (f *File) Postings(t vocab.TermID) []Posting {
+	f.freeze()
+	i := f.termIndex(t)
+	if i < 0 {
+		return nil
+	}
+	return f.postings[f.starts[i]:f.starts[i+1]:f.starts[i+1]]
+}
 
 // NumTerms returns the number of distinct terms in the file.
-func (f *File) NumTerms() int { return len(f.lists) }
+func (f *File) NumTerms() int {
+	f.freeze()
+	return len(f.terms)
+}
 
-// Terms returns the file's terms in ascending order.
+// NumPostings returns the total number of postings across all terms.
+func (f *File) NumPostings() int {
+	f.freeze()
+	return len(f.postings)
+}
+
+// Terms returns the file's terms in ascending order. The slice is the
+// file's own sorted term index — kept sorted once at decode/merge time,
+// never rebuilt per call. Callers must not modify it and must not retain
+// it across a subsequent Add.
 func (f *File) Terms() []vocab.TermID {
-	out := make([]vocab.TermID, 0, len(f.lists))
-	for t := range f.lists {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	f.freeze()
+	return f.terms
 }
 
-// ForEach visits every (term, postings) pair in ascending term order.
+// ForEach visits every (term, postings) pair in ascending term order. The
+// postings slice passed to fn follows the same aliasing contract as
+// Postings.
 func (f *File) ForEach(fn func(t vocab.TermID, ps []Posting)) {
-	for _, t := range f.Terms() {
-		fn(t, f.lists[t])
+	f.freeze()
+	for i, t := range f.terms {
+		fn(t, f.postings[f.starts[i]:f.starts[i+1]:f.starts[i+1]])
 	}
 }
+
+// MemBytes approximates the resident size of the decoded file — the
+// figure the decoded-object cache accounts against its byte cap.
+func (f *File) MemBytes() int64 {
+	f.freeze()
+	return int64(len(f.postings))*postingBytes +
+		int64(len(f.terms))*4 + int64(len(f.starts))*4 + 96
+}
+
+// MaxDecodedBytes bounds the MemBytes of a File decoded from an encoded
+// buffer of n bytes, letting readers test cacheability before paying for
+// a full decode. Every stored term costs ≥ 2 encoded bytes (id + count
+// varints) and holds ≥ 1 posting costing ≥ 9 (max-only) or ≥ 17 (min-max)
+// encoded bytes, against 8 + 24 decoded bytes — so 3n plus the fixed
+// header dominates both layouts.
+func MaxDecodedBytes(n int) int64 { return 3*int64(n) + 128 }
 
 // Serialization versions: the IR-tree stores only maximum weights (one
 // float per posting, as in Cong et al.); the MIR-tree stores both bounds.
@@ -79,17 +186,19 @@ const (
 // Encode serializes the file: version, term count, then per term
 // (ascending) the term id, posting count, and per posting the entry
 // (delta-coded) and weight(s). With includeMin=false the minimum weights
-// are omitted (IR-tree layout) and decode as zero.
+// are omitted (IR-tree layout) and decode as zero. The byte layout is
+// identical to the pre-flat (map-based) encoder, so existing on-disk
+// indexes remain readable and re-saving produces identical files.
 func (f *File) Encode(includeMin bool) []byte {
+	f.freeze()
 	version := uint64(versionMaxOnly)
 	if includeMin {
 		version = versionMinMax
 	}
 	buf := storage.AppendUvarint(nil, version)
-	buf = storage.AppendUvarint(buf, uint64(len(f.lists)))
-	for _, t := range f.Terms() {
-		ps := append([]Posting(nil), f.lists[t]...)
-		sort.Slice(ps, func(i, j int) bool { return ps[i].Entry < ps[j].Entry })
+	buf = storage.AppendUvarint(buf, uint64(len(f.terms)))
+	for i, t := range f.terms {
+		ps := f.postings[f.starts[i]:f.starts[i+1]]
 		buf = storage.AppendUvarint(buf, uint64(t))
 		buf = storage.AppendUvarint(buf, uint64(len(ps)))
 		prev := int32(0)
@@ -105,7 +214,11 @@ func (f *File) Encode(includeMin bool) []byte {
 	return buf
 }
 
-// Decode parses a file serialized by Encode.
+// Decode parses a file serialized by Encode, building the flat layout in
+// one pass — the decode-once path the decoded-object cache stores. Files
+// written by Encode store terms ascending and entries delta-coded (so
+// ascending within a term); a stored stream violating term order (foreign
+// or corrupt but structurally decodable) is re-sorted defensively.
 func Decode(buf []byte) (*File, error) {
 	d := storage.NewDecoder(buf)
 	version := d.Uvarint()
@@ -113,12 +226,29 @@ func Decode(buf []byte) (*File, error) {
 		return nil, fmt.Errorf("invfile: unknown version %d", version)
 	}
 	n := d.Uvarint()
-	f := New()
-	for i := uint64(0); i < n; i++ {
+	// Each stored term costs at least two encoded bytes (id and count
+	// varints), so a count beyond len(buf)/2 can only come from a corrupt
+	// buffer — reject it before sizing allocations from it (data pages
+	// are not checksummed; decode must fail, not panic or overallocate).
+	if d.Err() == nil && n > uint64(len(buf))/2 {
+		return nil, fmt.Errorf("invfile: term count %d exceeds %d-byte buffer", n, len(buf))
+	}
+	f := &File{}
+	if n > 0 && d.Err() == nil {
+		f.terms = make([]vocab.TermID, 0, n)
+		f.starts = make([]int32, 0, n+1)
+	}
+	ordered := true
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
 		t := vocab.TermID(d.Uvarint())
 		cnt := d.Uvarint()
+		if len(f.terms) > 0 && t <= f.terms[len(f.terms)-1] {
+			ordered = false
+		}
+		f.terms = append(f.terms, t)
+		f.starts = append(f.starts, int32(len(f.postings)))
 		prev := int32(0)
-		for j := uint64(0); j < cnt; j++ {
+		for j := uint64(0); j < cnt && d.Err() == nil; j++ {
 			entry := prev + int32(d.Uvarint())
 			prev = entry
 			maxw := d.Float64()
@@ -126,17 +256,117 @@ func Decode(buf []byte) (*File, error) {
 			if version == versionMinMax {
 				minw = d.Float64()
 			}
-			f.Add(t, Posting{Entry: entry, MaxW: maxw, MinW: minw})
+			f.postings = append(f.postings, Posting{Entry: entry, MaxW: maxw, MinW: minw})
 		}
 	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("invfile: %w", err)
 	}
+	f.starts = append(f.starts, int32(len(f.postings)))
+	if !ordered {
+		// Route the decoded postings through the defensive merge.
+		g := &File{}
+		for i, t := range f.terms {
+			for _, p := range f.postings[f.starts[i]:f.starts[i+1]] {
+				g.Add(t, p)
+			}
+		}
+		g.freeze()
+		*f = *g
+	}
 	return f, nil
 }
 
+// SumScratch holds the reusable per-entry sum buffers a traversal threads
+// through its node visits, eliminating the two float64-slice allocations
+// every inverted-file read otherwise pays. The zero value is ready to use;
+// the slices returned by the Sums helpers alias the scratch and stay valid
+// only until its next use.
+type SumScratch struct {
+	Max, Min []float64
+}
+
+// buffers returns the scratch's two sum buffers resized to n (reallocating
+// only on growth) and zero-filled with the given floor constants.
+func (s *SumScratch) buffers(n int, floorMax, floorMin float64) (maxSums, minSums []float64) {
+	if cap(s.Max) < n {
+		s.Max = make([]float64, n)
+		s.Min = make([]float64, n)
+	}
+	maxSums, minSums = s.Max[:n], s.Min[:n]
+	for i := range maxSums {
+		maxSums[i] = floorMax
+		minSums[i] = floorMin
+	}
+	return maxSums, minSums
+}
+
+// floorSums accumulates the all-floors baseline of both bound sums.
+func floorSums(maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64) (floorMax, floorMin float64) {
+	for _, tm := range maxTerms {
+		floorMax += floorOf(tm)
+	}
+	for _, tm := range minTerms {
+		floorMin += floorOf(tm)
+	}
+	return floorMax, floorMin
+}
+
+// SumsInto computes, over the decoded flat layout, the per-entry bound
+// sums DecodeSums defines — but with binary-search term lookup instead of
+// a byte-wise scan (the node stores postings for its whole subtree
+// vocabulary; a query group cares about a handful of terms) and with
+// caller-supplied scratch, making the warm hot path allocation-free.
+// maxTerms and minTerms must be ascending. The returned slices alias
+// scratch and stay valid only until its next use.
+func (f *File) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
+	f.freeze()
+	floorMax, floorMin := floorSums(maxTerms, minTerms, floorOf)
+	maxSums, minSums = scratch.buffers(nEntries, floorMax, floorMin)
+
+	mi, ni := 0, 0
+	for mi < len(maxTerms) || ni < len(minTerms) {
+		var t vocab.TermID
+		switch {
+		case mi >= len(maxTerms):
+			t = minTerms[ni]
+		case ni >= len(minTerms):
+			t = maxTerms[mi]
+		case maxTerms[mi] <= minTerms[ni]:
+			t = maxTerms[mi]
+		default:
+			t = minTerms[ni]
+		}
+		wantMax := mi < len(maxTerms) && maxTerms[mi] == t
+		wantMin := ni < len(minTerms) && minTerms[ni] == t
+		if wantMax {
+			mi++
+		}
+		if wantMin {
+			ni++
+		}
+		ti := f.termIndex(t)
+		if ti < 0 {
+			continue
+		}
+		floor := floorOf(t)
+		for _, p := range f.postings[f.starts[ti]:f.starts[ti+1]] {
+			if int(p.Entry) >= nEntries {
+				return nil, nil, fmt.Errorf("invfile: posting entry %d out of range", p.Entry)
+			}
+			if wantMax {
+				maxSums[p.Entry] += p.MaxW - floor
+			}
+			if wantMin && p.MinW > floor {
+				minSums[p.Entry] += p.MinW - floor
+			}
+		}
+	}
+	return maxSums, minSums, nil
+}
+
 // DecodeSums computes, in one pass over an encoded file and without
-// materializing posting maps, the per-entry bound sums the super-user
+// materializing posting lists, the per-entry bound sums the super-user
 // traversal needs: for every entry i,
 //
 //	maxSums[i] = Σ_{t∈maxTerms} max(MaxW(t,i), floor(t))
@@ -145,9 +375,18 @@ func Decode(buf []byte) (*File, error) {
 // matching irtree.MaxTextSums / MinTextSums over a Decode'd file exactly.
 // maxTerms and minTerms must be ascending (the super-user keeps them
 // sorted); postings of terms in neither set are skipped byte-wise. This is
-// the traversal hot path: a node stores postings for its whole subtree
-// vocabulary, while a query group cares about a handful of terms.
+// the cold traversal path: a node stores postings for its whole subtree
+// vocabulary, while a query group cares about a handful of terms. The
+// returned slices are freshly allocated; DecodeSumsInto is the scratch
+// variant.
 func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64) (maxSums, minSums []float64, err error) {
+	return DecodeSumsInto(buf, nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+}
+
+// DecodeSumsInto is DecodeSums with caller-supplied scratch buffers: the
+// returned slices alias scratch and stay valid only until its next use.
+// With a reused scratch the per-node cost is allocation-free.
+func DecodeSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
 	d := storage.NewDecoder(buf)
 	version := d.Uvarint()
 	if d.Err() == nil && version != versionMaxOnly && version != versionMinMax {
@@ -155,19 +394,8 @@ func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, flo
 	}
 	hasMin := version == versionMinMax
 
-	maxSums = make([]float64, nEntries)
-	minSums = make([]float64, nEntries)
-	var floorMax, floorMin float64
-	for _, tm := range maxTerms {
-		floorMax += floorOf(tm)
-	}
-	for _, tm := range minTerms {
-		floorMin += floorOf(tm)
-	}
-	for i := 0; i < nEntries; i++ {
-		maxSums[i] = floorMax
-		minSums[i] = floorMin
-	}
+	floorMax, floorMin := floorSums(maxTerms, minTerms, floorOf)
+	maxSums, minSums = scratch.buffers(nEntries, floorMax, floorMin)
 
 	mi, ni := 0, 0 // cursors into maxTerms / minTerms (stored terms ascend)
 	n := d.Uvarint()

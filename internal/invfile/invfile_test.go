@@ -81,6 +81,14 @@ func TestDecodeCorrupt(t *testing.T) {
 	if _, err := Decode(buf[:len(buf)-3]); err == nil {
 		t.Error("truncated buffer should error")
 	}
+	// A bit-flipped term count must be rejected before it sizes an
+	// allocation (data pages are unchecksummed): version byte, then a
+	// varint claiming ~2^62 terms in a 12-byte buffer.
+	huge := append([]byte{versionMinMax},
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f, 0x01, 0x01)
+	if _, err := Decode(huge); err == nil {
+		t.Error("absurd term count should error, not allocate")
+	}
 }
 
 func TestEmptyFileRoundTrip(t *testing.T) {

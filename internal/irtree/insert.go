@@ -40,7 +40,7 @@ func (t *Tree) Insert(o dataset.Object) error {
 		})
 		t.writeNodeData(t.rootID, true, []NodeEntry{{
 			Rect: geo.RectFromPoint(o.Loc), Child: o.ID, Count: 1,
-		}}, inv)
+		}}, inv, storage.InvalidPage)
 		return nil
 	}
 
@@ -53,7 +53,7 @@ func (t *Tree) Insert(o dataset.Object) error {
 	var path []step
 	id := t.rootID
 	for {
-		node, err := t.ReadNode(id)
+		node, err := t.readNodeFresh(id)
 		if err != nil {
 			return err
 		}
@@ -74,11 +74,11 @@ func (t *Tree) Insert(o dataset.Object) error {
 	}
 
 	// Add the object to the leaf.
-	leaf, err := t.ReadNode(id)
+	leaf, err := t.readNodeFresh(id)
 	if err != nil {
 		return err
 	}
-	leafInv, err := t.ReadInvFile(leaf)
+	leafInv, err := t.readInvFileFresh(leaf)
 	if err != nil {
 		return err
 	}
@@ -99,18 +99,18 @@ func (t *Tree) Insert(o dataset.Object) error {
 			return err
 		}
 	} else {
-		t.writeNodeData(id, true, leaf.Entries, leafInv)
+		t.writeNodeData(id, true, leaf.Entries, leafInv, leaf.InvID)
 	}
 
 	// Propagate rect/count/posting updates (and any split) to the root.
 	childID, childSplit := id, splitID
 	for level := len(path) - 1; level >= 0; level-- {
 		parentID, entryIdx := path[level].id, path[level].entry
-		parent, err := t.ReadNode(parentID)
+		parent, err := t.readNodeFresh(parentID)
 		if err != nil {
 			return err
 		}
-		parentInv, err := t.ReadInvFile(parent)
+		parentInv, err := t.readInvFileFresh(parent)
 		if err != nil {
 			return err
 		}
@@ -141,7 +141,7 @@ func (t *Tree) Insert(o dataset.Object) error {
 				return err
 			}
 		} else {
-			t.writeNodeData(parentID, false, parent.Entries, parentInv)
+			t.writeNodeData(parentID, false, parent.Entries, parentInv, parent.InvID)
 		}
 		childID = parentID
 	}
@@ -159,7 +159,7 @@ func (t *Tree) Insert(o dataset.Object) error {
 			entries = append(entries, NodeEntry{Rect: rect, Child: cid, Count: count})
 			updateEntryPostings(inv, int32(i), agg)
 		}
-		t.writeNodeData(newRoot, false, entries, inv)
+		t.writeNodeData(newRoot, false, entries, inv, storage.InvalidPage)
 		t.rootID = newRoot
 		t.height++
 	}
@@ -182,8 +182,17 @@ func (t *Tree) allocNode() int32 {
 }
 
 // writeNodeData re-encodes a node and its inverted file, appending fresh
-// records and repointing the node id.
-func (t *Tree) writeNodeData(id int32, leaf bool, entries []NodeEntry, inv *invfile.File) {
+// records and repointing the node id. oldInv is the superseded inverted
+// file's record (InvalidPage when the node is new); the superseded node
+// and inverted-file records are dropped from the decoded cache so dead
+// entries never squeeze live ones out of the byte budget.
+func (t *Tree) writeNodeData(id int32, leaf bool, entries []NodeEntry, inv *invfile.File, oldInv storage.PageID) {
+	if old := t.nodePages[id]; old != storage.InvalidPage {
+		t.decoded.Delete(old)
+	}
+	if oldInv != storage.InvalidPage {
+		t.decoded.Delete(oldInv)
+	}
 	invID := t.store.Put(inv, t.kind == MIRTree)
 	counts := make([]int32, len(entries))
 	total := int32(0)
@@ -201,11 +210,11 @@ func (t *Tree) writeNodeData(id int32, leaf bool, entries []NodeEntry, inv *invf
 // it is "covered" (min weight > 0) only when every entry carries a
 // positive-minimum posting for it.
 func (t *Tree) aggregateOf(id int32) (nodeAgg, geo.Rect, int32, error) {
-	node, err := t.ReadNode(id)
+	node, err := t.readNodeFresh(id)
 	if err != nil {
 		return nil, geo.Rect{}, 0, err
 	}
-	inv, err := t.ReadInvFile(node)
+	inv, err := t.readInvFileFresh(node)
 	if err != nil {
 		return nil, geo.Rect{}, 0, err
 	}
@@ -307,10 +316,10 @@ func (t *Tree) splitNode(id int32, node *NodeData) (int32, error) {
 	}
 
 	sibID := t.allocNode()
-	if err := t.rebuildNodeFromEntries(id, node.Leaf, groupA); err != nil {
+	if err := t.rebuildNodeFromEntries(id, node.Leaf, groupA, node.InvID); err != nil {
 		return -1, err
 	}
-	if err := t.rebuildNodeFromEntries(sibID, node.Leaf, groupB); err != nil {
+	if err := t.rebuildNodeFromEntries(sibID, node.Leaf, groupB, storage.InvalidPage); err != nil {
 		return -1, err
 	}
 	return sibID, nil
@@ -318,8 +327,8 @@ func (t *Tree) splitNode(id int32, node *NodeData) (int32, error) {
 
 // rebuildNodeFromEntries recomputes a node's inverted file from scratch —
 // exact leaf weights for leaves, child aggregates (read back from disk)
-// for internal nodes — and writes it.
-func (t *Tree) rebuildNodeFromEntries(id int32, leaf bool, entries []NodeEntry) error {
+// for internal nodes — and writes it, superseding oldInv.
+func (t *Tree) rebuildNodeFromEntries(id int32, leaf bool, entries []NodeEntry, oldInv storage.PageID) error {
 	inv := invfile.New()
 	for i, e := range entries {
 		if leaf {
@@ -338,6 +347,6 @@ func (t *Tree) rebuildNodeFromEntries(id int32, leaf bool, entries []NodeEntry) 
 			inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: a.maxW, MinW: a.minW})
 		}
 	}
-	t.writeNodeData(id, leaf, entries, inv)
+	t.writeNodeData(id, leaf, entries, inv, oldInv)
 	return nil
 }

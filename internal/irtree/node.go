@@ -26,6 +26,13 @@ type NodeData struct {
 	InvID   storage.PageID
 }
 
+// memBytes approximates the decoded node's resident size for the decoded
+// cache's byte accounting: 40 bytes per entry (rect + child + count) plus
+// the struct header.
+func (n *NodeData) memBytes() int64 {
+	return int64(len(n.Entries))*40 + 64
+}
+
 // MBR returns the bounding rectangle of all entries.
 func (n *NodeData) MBR() geo.Rect {
 	r := geo.EmptyRect()

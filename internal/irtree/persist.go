@@ -29,10 +29,11 @@ func (t *Tree) EncodeMeta() []byte {
 // Restore reconstructs a Tree over a backend already holding its records,
 // from metadata produced by EncodeMeta. cacheCapacity front-loads an LRU
 // buffer pool exactly as Config.CacheCapacity does at build time (zero
-// keeps every query cold). The model must be built over ds with the same
-// measure the tree was built with; the restored tree starts with a fresh
-// I/O counter.
-func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, meta []byte, cacheCapacity int) (*Tree, error) {
+// keeps every query cold), and decodedCacheBytes a decoded-object cache
+// exactly as Config.DecodedCacheBytes does. The model must be built over
+// ds with the same measure the tree was built with; the restored tree
+// starts with a fresh I/O counter.
+func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, meta []byte, cacheCapacity int, decodedCacheBytes int64) (*Tree, error) {
 	d := storage.NewDecoder(meta)
 	kind := Kind(d.Uvarint())
 	fanout := int(d.Uvarint())
@@ -80,5 +81,6 @@ func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, 
 	if cacheCapacity > 0 {
 		t.cache = storage.NewBufferPool(t.pager, cacheCapacity)
 	}
+	t.decoded = storage.NewDecodedCache(decodedCacheBytes, 0)
 	return t, nil
 }

@@ -51,6 +51,13 @@ type Config struct {
 	// query cold, the Section 8 evaluation setting. ResetCache restores a
 	// cold boundary between queries.
 	CacheCapacity int
+	// DecodedCacheBytes enables the second cache level: a sharded,
+	// byte-capped cache of decoded nodes and inverted files keyed by
+	// record address, so repeated traversals skip varint decode entirely.
+	// Hits charge no simulated I/O (the warm-serving setting, exactly
+	// like buffer-pool hits); zero keeps every read a decode — the
+	// Section 8 accounting setting the experiments run under.
+	DecodedCacheBytes int64
 }
 
 // Tree is a disk-resident IR-tree or MIR-tree over a dataset's objects.
@@ -59,10 +66,11 @@ type Tree struct {
 	ds    *dataset.Dataset
 	model textrel.Model
 
-	pager storage.Backend
-	io    *storage.IOCounter
-	store *invfile.Store
-	cache *storage.BufferPool // nil when CacheCapacity == 0 (cold queries)
+	pager   storage.Backend
+	io      *storage.IOCounter
+	store   *invfile.Store
+	cache   *storage.BufferPool   // nil when CacheCapacity == 0 (cold queries)
+	decoded *storage.DecodedCache // nil when DecodedCacheBytes == 0
 
 	nodePages []storage.PageID // node id → serialized node record
 	rootID    int32
@@ -111,6 +119,7 @@ func Build(ds *dataset.Dataset, model textrel.Model, cfg Config) *Tree {
 	if cfg.CacheCapacity > 0 {
 		t.cache = storage.NewBufferPool(t.pager, cfg.CacheCapacity)
 	}
+	t.decoded = storage.NewDecodedCache(cfg.DecodedCacheBytes, 0)
 	for i := range t.nodePages {
 		t.nodePages[i] = storage.InvalidPage
 	}
@@ -218,8 +227,30 @@ func (t *Tree) Backend() storage.Backend { return t.pager }
 
 // ReadNode fetches and decodes the node with the given id, charging one
 // simulated node-visit I/O (the Section 8 rule). With a warm buffer pool
-// configured, pool hits charge nothing.
+// configured, pool hits charge nothing; with a decoded cache configured,
+// hits skip both the charge and the decode, returning the shared
+// immutable *NodeData (callers must not modify it — the insert path uses
+// private uncached reads for exactly that reason).
 func (t *Tree) ReadNode(id int32) (*NodeData, error) {
+	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
+		return nil, fmt.Errorf("irtree: unknown node %d", id)
+	}
+	page := t.nodePages[id]
+	if v, ok := t.decoded.Get(page); ok {
+		return v.(*NodeData), nil
+	}
+	node, err := t.readNodeFresh(id)
+	if err != nil {
+		return nil, err
+	}
+	t.decoded.Put(page, node, node.memBytes())
+	return node, nil
+}
+
+// readNodeFresh is ReadNode without the decoded cache: it always decodes a
+// private *NodeData the caller may mutate. The insert path reads through
+// it so cached nodes stay immutable. Callers must have validated id.
+func (t *Tree) readNodeFresh(id int32) (*NodeData, error) {
 	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
 		return nil, fmt.Errorf("irtree: unknown node %d", id)
 	}
@@ -260,8 +291,24 @@ func (t *Tree) readInvBytes(id storage.PageID) ([]byte, error) {
 }
 
 // ReadInvFile loads the inverted file referenced by a node, charging one
-// simulated I/O per 4 kB block (pool hits charge nothing).
+// simulated I/O per 4 kB block (pool and decoded-cache hits charge
+// nothing). The returned file may be shared through the decoded cache and
+// must be treated as immutable; the insert path uses readInvFileFresh.
 func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
+	if v, ok := t.decoded.Get(node.InvID); ok {
+		return v.(*invfile.File), nil
+	}
+	f, err := t.readInvFileFresh(node)
+	if err != nil {
+		return nil, err
+	}
+	t.decoded.Put(node.InvID, f, f.MemBytes())
+	return f, nil
+}
+
+// readInvFileFresh decodes a private copy of a node's inverted file,
+// bypassing the decoded cache — the mutation-safe read of the insert path.
+func (t *Tree) readInvFileFresh(node *NodeData) (*invfile.File, error) {
 	buf, err := t.readInvBytes(node.InvID)
 	if err != nil {
 		return nil, err
@@ -274,21 +321,47 @@ func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
 // fused, term-filtered pass — the traversal fast path, equivalent to
 // ReadInvFile followed by MaxTextSums and MinTextSums but without
 // materializing posting lists for the node's whole subtree vocabulary.
-// The simulated I/O charge is identical to ReadInvFile's.
+// The simulated I/O charge is identical to ReadInvFile's. The returned
+// slices are freshly allocated; ReadInvSumsScratch is the hot-path
+// variant.
 func (t *Tree) ReadInvSums(node *NodeData, maxTerms, minTerms []vocab.TermID) (maxSums, minSums []float64, err error) {
+	return t.ReadInvSumsScratch(node, maxTerms, minTerms, &invfile.SumScratch{})
+}
+
+// ReadInvSumsScratch is ReadInvSums with caller-supplied scratch buffers
+// (the returned slices alias scratch and stay valid only until its next
+// use). On a decoded-cache hit the sums are computed over the cached flat
+// file via binary-search term lookup — no bytes touched, no allocations.
+// On a miss the file is decoded and cached only when it can fit the
+// cache's shard budget; a file too large to ever be cached takes the
+// fused byte-wise scan instead (decoding only the wanted terms), so
+// oversized nodes never pay a futile full decode per visit.
+func (t *Tree) ReadInvSumsScratch(node *NodeData, maxTerms, minTerms []vocab.TermID, scratch *invfile.SumScratch) (maxSums, minSums []float64, err error) {
+	if v, ok := t.decoded.Get(node.InvID); ok {
+		return v.(*invfile.File).SumsInto(len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
+	}
 	buf, err := t.readInvBytes(node.InvID)
 	if err != nil {
 		return nil, nil, err
 	}
-	return invfile.DecodeSums(buf, len(node.Entries), maxTerms, minTerms, t.model.FloorWeight)
+	if t.decoded.FitsBudget(invfile.MaxDecodedBytes(len(buf))) {
+		f, err := invfile.Decode(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		t.decoded.Put(node.InvID, f, f.MemBytes())
+		return f.SumsInto(len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
+	}
+	return invfile.DecodeSumsInto(buf, len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
 }
 
-// ResetCache drops all buffered pages — a cold-query boundary. No-op when
-// no cache is configured.
+// ResetCache drops all buffered pages and decoded objects — a cold-query
+// boundary. No-op when no cache is configured.
 func (t *Tree) ResetCache() {
 	if t.cache != nil {
 		t.cache.Reset()
 	}
+	t.decoded.Reset()
 }
 
 // CacheStats returns buffer-pool hits and misses (zeros when cold).
@@ -297,4 +370,10 @@ func (t *Tree) CacheStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return t.cache.Stats()
+}
+
+// DecodedCacheStats returns the decoded-object cache counters (zeros when
+// no decoded cache is configured).
+func (t *Tree) DecodedCacheStats() storage.DecodedCacheStats {
+	return t.decoded.Stats()
 }

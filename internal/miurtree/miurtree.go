@@ -39,6 +39,17 @@ type NodeData struct {
 	Entries []NodeEntry
 }
 
+// memBytes approximates a decoded node's resident size for cache byte
+// accounting: the entry struct plus its union/intersection term slices.
+func (n *NodeData) memBytes() int64 {
+	total := int64(64)
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		total += 96 + int64(len(e.Uni)+len(e.Int))*4
+	}
+	return total
+}
+
 // Tree is a disk-resident MIUR-tree over a user set.
 type Tree struct {
 	users []dataset.User
@@ -48,6 +59,7 @@ type Tree struct {
 	nodePages []storage.PageID
 	rootID    int32
 	numNodes  int
+	decoded   *storage.DecodedCache // nil until EnableDecodedCache
 
 	// Root-level aggregate (the super-user of the whole set).
 	RootEntry NodeEntry
@@ -166,17 +178,44 @@ func (t *Tree) IO() *storage.IOCounter { return t.io }
 // DiskPages returns the pages occupied by serialized nodes.
 func (t *Tree) DiskPages() int { return t.pager.NumPages() }
 
-// ReadNode fetches and decodes a node, charging one simulated I/O.
+// EnableDecodedCache installs a decoded-node cache with the given byte
+// budget: repeated traversals (a session's user-indexed engine reuses one
+// MIUR-tree across runs) skip node decode on hits. Unlike the object
+// index, hits still charge the simulated node-visit I/O — the cache saves
+// decode CPU only, so the Section 7 I/O accounting is identical with or
+// without it. Call before sharing the tree between goroutines.
+func (t *Tree) EnableDecodedCache(capBytes int64) {
+	t.decoded = storage.NewDecodedCache(capBytes, 0)
+}
+
+// DecodedCacheStats returns the decoded-node cache counters (zeros when
+// disabled).
+func (t *Tree) DecodedCacheStats() storage.DecodedCacheStats {
+	return t.decoded.Stats()
+}
+
+// ReadNode fetches and decodes a node, charging one simulated I/O. With a
+// decoded cache enabled the returned *NodeData may be shared between
+// goroutines and must be treated as immutable.
 func (t *Tree) ReadNode(id int32) (*NodeData, error) {
 	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
 		return nil, fmt.Errorf("miurtree: unknown node %d", id)
 	}
 	t.io.NodeVisit()
-	buf, err := t.pager.ReadRecord(t.nodePages[id])
+	page := t.nodePages[id]
+	if v, ok := t.decoded.Get(page); ok {
+		return v.(*NodeData), nil
+	}
+	buf, err := t.pager.ReadRecord(page)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(id, buf)
+	node, err := decodeNode(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	t.decoded.Put(page, node, node.memBytes())
+	return node, nil
 }
 
 // ---- serialization ----

@@ -16,15 +16,38 @@ import (
 // out through an atomic cursor, so uneven per-item cost self-balances.
 // fn must confine its writes to per-index state.
 func ForN(n, workers int, fn func(i int)) {
+	ForNWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// Workers returns the number of goroutines ForN and ForNWorkers actually
+// use for n items under a requested bound — the size callers give their
+// per-worker scratch slices. Zero when there is nothing to run.
+func Workers(n, workers int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForNWorkers is ForN with the worker index exposed: fn(w, i) runs with
+// w in [0, Workers(n, workers)), and no two invocations with the same w
+// ever overlap — so fn may key mutable per-worker scratch (reused sum and
+// top-k buffers) by w without locking. The sequential special case runs
+// everything as worker 0.
+func ForNWorkers(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(n, workers)
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -32,16 +55,16 @@ func ForN(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -138,9 +138,11 @@ func Save(path string, ix *Index) (err error) {
 // Load opens the index file at path and reconstructs the index over the
 // disk backend. cacheCapacity records are cached in an LRU buffer pool in
 // front of the file (0 disables caching — every node visit and
-// inverted-file load is a physical read, the cold-serving setting).
-// The caller owns the returned index's file handle: Close it.
-func Load(path string, cacheCapacity int) (*Index, error) {
+// inverted-file load is a physical read, the cold-serving setting), and
+// decodedCacheBytes budgets the decoded-object cache above the pool (0
+// disables it, so every read decodes). The caller owns the returned
+// index's file handle: Close it.
+func Load(path string, cacheCapacity int, decodedCacheBytes int64) (*Index, error) {
 	fp, err := storage.OpenFilePager(path)
 	if err != nil {
 		return nil, err
@@ -157,7 +159,7 @@ func Load(path string, cacheCapacity int) (*Index, error) {
 	// shift corpus statistics, or the loaded scores would drift from the
 	// in-memory index (whose model was frozen at Build time).
 	model := ix.NewModel(ix.frozenDS)
-	tree, err := irtree.Restore(ix.DS, model, fp, ix.treeMeta, cacheCapacity)
+	tree, err := irtree.Restore(ix.DS, model, fp, ix.treeMeta, cacheCapacity, decodedCacheBytes)
 	if err != nil {
 		fp.Close()
 		return nil, fmt.Errorf("persist: %s: %w", path, err)

@@ -257,7 +257,18 @@ type StatsPayload struct {
 	PhysicalPages   int64 `json:"physical_pages"`
 	BufferHits      int64 `json:"buffer_hits"`
 	BufferMisses    int64 `json:"buffer_misses"`
-	SessionCache    struct {
+	// DecodedCache reports the decoded-object cache above the buffer
+	// pool: decoded tree nodes and posting lists shared across requests.
+	DecodedCache struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		Entries   int     `json:"entries"`
+		Bytes     int64   `json:"bytes"`
+		CapBytes  int64   `json:"cap_bytes"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"decoded_cache"`
+	SessionCache struct {
 		Size    int     `json:"size"`
 		Hits    int64   `json:"hits"`
 		Misses  int64   `json:"misses"`
@@ -274,7 +285,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	p.Objects = s.ix.NumObjects()
 	p.SimulatedIO = s.ix.SimulatedIO()
 	p.PhysicalRecords, p.PhysicalPages = s.ix.ReadStats()
-	p.BufferHits, p.BufferMisses = s.ix.CacheStats()
+	cs := s.ix.CacheStats()
+	p.BufferHits, p.BufferMisses = cs.BufferHits, cs.BufferMisses
+	p.DecodedCache.Hits, p.DecodedCache.Misses = cs.DecodedHits, cs.DecodedMisses
+	p.DecodedCache.Evictions = cs.DecodedEvictions
+	p.DecodedCache.Entries, p.DecodedCache.Bytes = cs.DecodedEntries, cs.DecodedBytes
+	p.DecodedCache.CapBytes = cs.DecodedCapBytes
+	if total := cs.DecodedHits + cs.DecodedMisses; total > 0 {
+		p.DecodedCache.HitRate = float64(cs.DecodedHits) / float64(total)
+	}
 	size, hits, misses := s.sessions.stats()
 	p.SessionCache.Size, p.SessionCache.Hits, p.SessionCache.Misses = size, hits, misses
 	if total := hits + misses; total > 0 {

@@ -40,8 +40,14 @@ func NewBufferPool(backend Backend, capacity int) *BufferPool {
 }
 
 // Read returns the record at id, serving from cache when possible. The
-// returned slice is shared with the cache and must not be modified.
-// The second result reports whether the read was a cache hit.
+// second result reports whether the read was a cache hit.
+//
+// Aliasing contract: the returned slice is shared — on a hit it is the
+// cache's own copy, handed concurrently to every other reader of the same
+// record. Callers must treat the bytes as immutable, exactly as they must
+// treat values obtained from a DecodedCache hit. Records themselves are
+// immutable once written (the Backend contract), so sharing is safe for
+// readers; writers never reuse a PageID.
 func (b *BufferPool) Read(id PageID) ([]byte, bool, error) {
 	b.mu.Lock()
 	if n, ok := b.entries[id]; ok {

@@ -31,17 +31,17 @@ import (
 // append-only insert path of a loaded index); they are not persisted
 // until the index is saved again.
 type FilePager struct {
-	mu        sync.RWMutex
-	f         *os.File
-	writable  bool // Create mode: pages may still be appended to the file
-	finalized bool
+	mu           sync.RWMutex
+	f            *os.File
+	writable     bool // Create mode: pages may still be appended to the file
+	finalized    bool
 	filePages    int64 // pages stored in the file (excluding the header page)
 	overlayPages int64 // pages of records living in the memory overlay
 	lengths      map[PageID]int
 	order        []PageID // record ids in append order
 	overlay      map[PageID][]byte
-	root      PageID
-	writeErr  error
+	root         PageID
+	writeErr     error
 
 	readRecords atomic.Int64
 	readPages   atomic.Int64

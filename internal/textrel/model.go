@@ -204,6 +204,31 @@ func (m *LanguageModel) AddWeight(d vocab.Doc, t vocab.TermID) float64 {
 // existing term weights when the document grows.
 func (m *LanguageModel) AdditionMonotone() bool { return false }
 
+// docTS computes Σ_{t ∈ ud} Weight(od, t) with a merge join over the two
+// sorted term lists — the devirtualized fast path of Scorer.TS. Each
+// term's weight is formed by exactly the floating-point operations of
+// Weight, accumulated in the same (ascending-term) order, so the sum is
+// bit-for-bit identical to the generic interface loop.
+func (m *LanguageModel) docTS(od, ud vocab.Doc) float64 {
+	udTerms := ud.Terms()
+	odTerms, odFreqs := od.Terms(), od.Freqs()
+	total := 0.0
+	j := 0
+	for _, t := range udTerms {
+		for j < len(odTerms) && odTerms[j] < t {
+			j++
+		}
+		w := m.floorOf(t)
+		if j < len(odTerms) && odTerms[j] == t {
+			if f := odFreqs[j]; f > 0 && od.Len() > 0 {
+				w += (1 - m.lambda) * float64(f) / float64(od.Len())
+			}
+		}
+		total += w
+	}
+	return total
+}
+
 // ---------------------------------------------------------------- TF-IDF
 
 // TFIDFModel weighs a term as tf(t,d) · idf(t,O) with
@@ -275,6 +300,26 @@ func (m *TFIDFModel) AddWeight(d vocab.Doc, t vocab.TermID) float64 {
 // across terms, so additions never reduce existing weights.
 func (m *TFIDFModel) AdditionMonotone() bool { return true }
 
+// docTS is the merge-join fast path of Scorer.TS (see LanguageModel.docTS
+// for the bit-identity argument).
+func (m *TFIDFModel) docTS(od, ud vocab.Doc) float64 {
+	udTerms := ud.Terms()
+	odTerms, odFreqs := od.Terms(), od.Freqs()
+	total := 0.0
+	j := 0
+	for _, t := range udTerms {
+		for j < len(odTerms) && odTerms[j] < t {
+			j++
+		}
+		var f int32
+		if j < len(odTerms) && odTerms[j] == t {
+			f = odFreqs[j]
+		}
+		total += float64(f) * m.IDF(t)
+	}
+	return total
+}
+
 // ---------------------------------------------------------------- Keyword Overlap
 
 // KeywordOverlapModel scores TS(o,u) = |u.d ∩ o.d| / |u.d|: each shared
@@ -315,3 +360,23 @@ func (m *KeywordOverlapModel) AddWeight(d vocab.Doc, t vocab.TermID) float64 {
 // AdditionMonotone implements Model: membership of existing terms is
 // unaffected by additions.
 func (*KeywordOverlapModel) AdditionMonotone() bool { return true }
+
+// docTS is the merge-join fast path of Scorer.TS (see LanguageModel.docTS
+// for the bit-identity argument).
+func (*KeywordOverlapModel) docTS(od, ud vocab.Doc) float64 {
+	udTerms := ud.Terms()
+	odTerms := od.Terms()
+	total := 0.0
+	j := 0
+	for _, t := range udTerms {
+		for j < len(odTerms) && odTerms[j] < t {
+			j++
+		}
+		var w float64
+		if j < len(odTerms) && odTerms[j] == t {
+			w = 1
+		}
+		total += w
+	}
+	return total
+}

@@ -74,11 +74,24 @@ func (s *Scorer) Norm(d vocab.Doc) float64 {
 }
 
 // TS returns the normalized text relevance of object document od for a user
-// document ud whose precomputed normalizer is norm (use Norm(ud)).
+// document ud whose precomputed normalizer is norm (use Norm(ud)). The
+// built-in measures take a devirtualized merge-join path — one linear pass
+// over the two sorted term lists instead of an interface call plus binary
+// search per user term — that performs the exact floating-point operations
+// of the generic loop in the same order, so scores are bit-identical.
 func (s *Scorer) TS(od, ud vocab.Doc, norm float64) float64 {
-	total := 0.0
-	for _, t := range ud.Terms() {
-		total += s.Model.Weight(od, t)
+	var total float64
+	switch m := s.Model.(type) {
+	case *LanguageModel:
+		total = m.docTS(od, ud)
+	case *TFIDFModel:
+		total = m.docTS(od, ud)
+	case *KeywordOverlapModel:
+		total = m.docTS(od, ud)
+	default:
+		for _, t := range ud.Terms() {
+			total += s.Model.Weight(od, t)
+		}
 	}
 	return total / norm
 }

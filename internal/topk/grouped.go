@@ -119,7 +119,32 @@ func buildRefineAux(tr *TraversalResult) *refineAux {
 // — their location lies in the group MBR and their keywords in the group
 // union — so the result is byte-identical to the aux-less scan.
 func OneUserTopKPruned(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int) UserTopK {
-	hu := container.NewStableTopK[irtree.Result](k)
+	return OneUserTopKPrunedWith(ds, scorer, u, norm, tr, aux, k, &RefineScratch{})
+}
+
+// RefineScratch holds the reusable per-user refinement state — the
+// bounded top-k heap — so one worker refining many users allocates it
+// once. The zero value is ready to use; a scratch must not be shared
+// between concurrent refinements.
+type RefineScratch struct {
+	hu *container.StableTopK[irtree.Result]
+}
+
+// heap returns the scratch's top-k heap, emptied and re-armed for k.
+func (sc *RefineScratch) heap(k int) *container.StableTopK[irtree.Result] {
+	if sc.hu == nil {
+		sc.hu = container.NewStableTopK[irtree.Result](k)
+	} else {
+		sc.hu.Reset(k)
+	}
+	return sc.hu
+}
+
+// OneUserTopKPrunedWith is OneUserTopKPruned with caller-supplied scratch:
+// with a warm scratch the only per-user allocation left is the returned
+// Results slice itself. Results are identical to OneUserTopKPruned.
+func OneUserTopKPrunedWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int, sc *RefineScratch) UserTopK {
+	hu := sc.heap(k)
 	for _, o := range tr.LO {
 		obj := &ds.Objects[o.ObjID]
 		s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norm)
@@ -181,13 +206,14 @@ func JointTopKParallel(tree *irtree.Tree, scorer *textrel.Scorer, users []datase
 	auxes := make([]*refineAux, len(parts))
 	sus := make([]SuperUser, len(parts))
 	errs := make([]error, len(parts))
-	parallel.ForN(len(parts), workers, func(g int) {
+	travScratch := make([]TraverseScratch, parallel.Workers(len(parts), workers))
+	parallel.ForNWorkers(len(parts), workers, func(w, g int) {
 		gu := make([]dataset.User, len(parts[g]))
 		for i, ui := range parts[g] {
 			gu[i] = users[ui]
 		}
 		sus[g] = BuildSuperUser(gu, scorer)
-		travs[g], errs[g] = Traverse(tree, scorer, sus[g], k)
+		travs[g], errs[g] = TraverseWith(tree, scorer, sus[g], k, &travScratch[w])
 		if errs[g] == nil {
 			auxes[g] = buildRefineAux(travs[g])
 		}
@@ -206,9 +232,10 @@ func JointTopKParallel(tree *irtree.Tree, scorer *textrel.Scorer, users []datase
 	}
 	per := make([]UserTopK, len(users))
 	ds := tree.Dataset()
-	parallel.ForN(len(users), workers, func(ui int) {
+	refScratch := make([]RefineScratch, parallel.Workers(len(users), workers))
+	parallel.ForNWorkers(len(users), workers, func(w, ui int) {
 		g := groupOf[ui]
-		per[ui] = OneUserTopKPruned(ds, scorer, &users[ui], norms[ui], travs[g], auxes[g], k)
+		per[ui] = OneUserTopKPrunedWith(ds, scorer, &users[ui], norms[ui], travs[g], auxes[g], k, &refScratch[w])
 	})
 
 	res := &JointResult{PerUser: per, Norms: norms}

@@ -98,6 +98,40 @@ func TestJointTopKParallelEquivalence(t *testing.T) {
 // TestGroupedTraversalCoversUserTopK checks the grouped soundness
 // argument directly: each group traversal's candidate set contains every
 // object of its users' exact (baseline-computed) top-k.
+// TestPrunedRefinementMatchesUnpruned asserts the lossless-pruning claim
+// directly: for every user, the suffix-maxima-pruned refinement (what
+// IndividualTopK and the parallel engine run) returns exactly what the
+// unpruned Algorithm 2 scan (OneUserTopK, the oracle) returns — scores,
+// order, and RSk. This is the invariant that lets the sequential path
+// share the grouped path's pruning rules.
+func TestPrunedRefinementMatchesUnpruned(t *testing.T) {
+	for _, measure := range []textrel.MeasureKind{textrel.LM, textrel.TFIDF, textrel.KO} {
+		tree, scorer, users := groupedFixture(t, 600, 40, int64(17+measure))
+		su := BuildSuperUser(users, scorer)
+		tr, err := Traverse(tree, scorer, su, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aux := buildRefineAux(tr)
+		norms := scorer.UserNorms(users)
+		ds := tree.Dataset()
+		var sc RefineScratch
+		for ui := range users {
+			want := OneUserTopK(ds, scorer, &users[ui], norms[ui], tr, 5)
+			got := OneUserTopKPrunedWith(ds, scorer, &users[ui], norms[ui], tr, aux, 5, &sc)
+			if got.RSk != want.RSk || len(got.Results) != len(want.Results) {
+				t.Fatalf("%v user %d: pruned %+v != unpruned %+v", measure, ui, got, want)
+			}
+			for i := range want.Results {
+				if got.Results[i] != want.Results[i] {
+					t.Fatalf("%v user %d result %d: pruned %+v != unpruned %+v",
+						measure, ui, i, got.Results[i], want.Results[i])
+				}
+			}
+		}
+	}
+}
+
 func TestGroupedTraversalCoversUserTopK(t *testing.T) {
 	tree, scorer, users := groupedFixture(t, 400, 40, 19)
 	const k = 4

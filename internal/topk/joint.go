@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/dataset"
+	"repro/internal/invfile"
 	"repro/internal/irtree"
 	"repro/internal/textrel"
 )
@@ -42,29 +43,62 @@ func (r *TraversalResult) Candidates() []BoundedObject {
 	return out
 }
 
+// travCand is one priority-queue entry of the Algorithm 1 traversal.
+type travCand struct {
+	ref        int32
+	isNode     bool
+	ub         float64
+	smax, braw float64 // UB components (see BoundedObject)
+}
+
+// TraverseScratch holds the reusable state of one traversal — the
+// priority queues and the per-node sum buffers — so a worker running many
+// group traversals allocates them once. The zero value is ready to use;
+// a scratch must not be shared between concurrent traversals.
+type TraverseScratch struct {
+	sums invfile.SumScratch
+	pq   *container.Heap[travCand]
+	lo   *container.TopK[BoundedObject]
+	ro   *container.Heap[BoundedObject]
+}
+
+// queues returns the scratch's three queues, emptied and re-armed for k.
+func (sc *TraverseScratch) queues(k int) (pq *container.Heap[travCand], lo *container.TopK[BoundedObject], ro *container.Heap[BoundedObject]) {
+	if sc.pq == nil {
+		sc.pq = container.NewMaxHeap[travCand]()
+		sc.lo = container.NewTopK[BoundedObject](k)
+		sc.ro = container.NewMaxHeap[BoundedObject]()
+	} else {
+		sc.pq.Clear()
+		sc.lo.Reset(k)
+		sc.ro.Clear()
+	}
+	return sc.pq, sc.lo, sc.ro
+}
+
 // Traverse implements Algorithm 1: a single best-first MIR-tree traversal
 // for the super-user that visits each node at most once, pruning every
 // subtree whose upper bound cannot reach RSk(us). tree must be built over
-// the dataset the users were generated against.
+// the dataset the users were generated against. It is TraverseWith with
+// fresh scratch; loops over many groups should reuse one scratch per
+// worker instead.
 func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*TraversalResult, error) {
+	return TraverseWith(tree, scorer, su, k, &TraverseScratch{})
+}
+
+// TraverseWith is Traverse with caller-supplied scratch: the queues and
+// per-node sum buffers are reused across calls, leaving only the returned
+// result's own slices to allocate. Results are identical to Traverse.
+func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int, sc *TraverseScratch) (*TraversalResult, error) {
 	res := &TraversalResult{RSkSuper: -math.MaxFloat64}
 	if tree.RootID() < 0 || su.NumUsers == 0 {
 		return res, nil
 	}
 
-	type cand struct {
-		ref        int32
-		isNode     bool
-		ub         float64
-		smax, braw float64 // UB components (see BoundedObject)
-	}
 	// PQ is keyed by the lower bound (descending), per Section 5.4: objects
 	// with the best lower bounds surface early, which tightens RSk(us).
-	pq := container.NewMaxHeap[cand]()
-	pq.Push(cand{ref: tree.RootID(), isNode: true, ub: math.MaxFloat64}, math.MaxFloat64)
-
-	lo := container.NewTopK[BoundedObject](k)
-	roHeap := container.NewMaxHeap[BoundedObject]()
+	pq, lo, roHeap := sc.queues(k)
+	pq.Push(travCand{ref: tree.RootID(), isNode: true, ub: math.MaxFloat64}, math.MaxFloat64)
 
 	for pq.Len() > 0 {
 		c, lb := pq.Pop()
@@ -102,8 +136,9 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 		}
 		// Fused, term-filtered decode: the node stores postings for its
 		// whole subtree vocabulary, but only the group's union and
-		// intersection terms contribute to the bounds.
-		maxSums, minSums, err := tree.ReadInvSums(node, su.Uni, su.Int)
+		// intersection terms contribute to the bounds. The sums land in
+		// the scratch buffers — no per-node allocation.
+		maxSums, minSums, err := tree.ReadInvSumsScratch(node, su.Uni, su.Int, &sc.sums)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +149,7 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 				continue
 			}
 			entryLB := scorer.Alpha*scorer.SSMin(e.Rect, su.MBR) + (1-scorer.Alpha)*su.LBText(minSums[i])
-			pq.Push(cand{ref: e.Child, isNode: !node.Leaf, ub: ub, smax: smax, braw: maxSums[i]}, entryLB)
+			pq.Push(travCand{ref: e.Child, isNode: !node.Leaf, ub: ub, smax: smax, braw: maxSums[i]}, entryLB)
 		}
 	}
 
@@ -140,9 +175,32 @@ type UserTopK struct {
 // from the candidate objects of a traversal. cands must contain LO (any
 // order) and RO sorted by descending upper bound, as produced by Traverse.
 func IndividualTopK(ds *dataset.Dataset, scorer *textrel.Scorer, users []dataset.User, norms []float64, tr *TraversalResult, k int) []UserTopK {
+	return IndividualTopKWith(ds, scorer, users, norms, tr, NewRefineIndex(tr), k)
+}
+
+// RefineIndex is the precomputed pruning state of one traversal's
+// candidate list (suffix maxima of the UB components — see
+// OneUserTopKPruned). It depends only on the TraversalResult, so callers
+// refining against one traversal repeatedly should build it once and
+// share it across calls.
+type RefineIndex struct {
+	aux *refineAux
+}
+
+// NewRefineIndex builds the pruning index over tr's candidates.
+func NewRefineIndex(tr *TraversalResult) RefineIndex {
+	return RefineIndex{aux: buildRefineAux(tr)}
+}
+
+// IndividualTopKWith is IndividualTopK against a prebuilt RefineIndex.
+// The suffix-maxima pruning is provably lossless (see OneUserTopKPruned),
+// so results match the unpruned Algorithm 2 scan exactly — the sequential
+// refinement prunes just as the grouped parallel path does.
+func IndividualTopKWith(ds *dataset.Dataset, scorer *textrel.Scorer, users []dataset.User, norms []float64, tr *TraversalResult, ri RefineIndex, k int) []UserTopK {
 	out := make([]UserTopK, len(users))
+	var sc RefineScratch // one reusable top-k buffer across all users
 	for ui := range users {
-		out[ui] = OneUserTopK(ds, scorer, &users[ui], norms[ui], tr, k)
+		out[ui] = OneUserTopKPrunedWith(ds, scorer, &users[ui], norms[ui], tr, ri.aux, k, &sc)
 	}
 	return out
 }

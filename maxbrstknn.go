@@ -124,6 +124,14 @@ type Options struct {
 	ExplicitLambda bool
 	// Fanout is the R-tree node capacity (default 32, minimum 4).
 	Fanout int
+	// DecodedCacheBytes budgets the sharded decoded-object cache the
+	// index keeps above its page store: decoded tree nodes and posting
+	// lists are reused across traversals and concurrent queries instead
+	// of being re-decoded per visit. Zero selects
+	// DefaultDecodedCacheBytes; a negative value disables the cache (the
+	// cold-accounting setting, where SimulatedIO charges every visit).
+	// Purely a performance knob — results are byte-identical either way.
+	DecodedCacheBytes int64
 }
 
 func (o Options) alpha() float64 {
@@ -145,6 +153,10 @@ func (o Options) fanout() int {
 		return 32
 	}
 	return o.Fanout
+}
+
+func (o Options) decodedCacheBytes() int64 {
+	return resolveDecodedCacheBytes(o.DecodedCacheBytes)
 }
 
 // Validate reports the first invalid option. Build calls it, so parameter
@@ -218,7 +230,11 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 	objects := append([]dataset.Object(nil), b.objects...)
 	ds := dataset.Build(objects, b.vocab)
 	model := opts.newModel(ds)
-	mir := irtree.Build(ds, model, irtree.Config{Kind: irtree.MIRTree, Fanout: opts.fanout()})
+	mir := irtree.Build(ds, model, irtree.Config{
+		Kind:              irtree.MIRTree,
+		Fanout:            opts.fanout(),
+		DecodedCacheBytes: opts.decodedCacheBytes(),
+	})
 	return &Index{ds: ds, opts: opts, model: model, mir: mir}, nil
 }
 

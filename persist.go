@@ -13,6 +13,10 @@ import (
 // nodes and posting lists are served from memory, cold ones from disk.
 const DefaultLoadCacheCapacity = 4096
 
+// DefaultDecodedCacheBytes is the byte budget of the decoded-object cache
+// when Options/LoadOptions leave DecodedCacheBytes zero (64 MiB).
+const DefaultDecodedCacheBytes int64 = 64 << 20
+
 // LoadOptions configures Load.
 type LoadOptions struct {
 	// CacheCapacity is the number of records the LRU buffer pool in front
@@ -21,6 +25,28 @@ type LoadOptions struct {
 	// inverted-file load is a physical read — the cold-serving setting the
 	// paper's Section 8 accounting models.
 	CacheCapacity int
+	// DecodedCacheBytes budgets the decoded-object cache above the buffer
+	// pool: tree nodes and posting lists decoded once are shared across
+	// traversals and concurrent requests. Zero selects
+	// DefaultDecodedCacheBytes; a negative value disables the cache.
+	DecodedCacheBytes int64
+}
+
+func (o LoadOptions) decodedCacheBytes() int64 {
+	return resolveDecodedCacheBytes(o.DecodedCacheBytes)
+}
+
+// resolveDecodedCacheBytes maps the shared knob convention — zero means
+// the default budget, negative means disabled — for Options and
+// LoadOptions alike.
+func resolveDecodedCacheBytes(v int64) int64 {
+	if v == 0 {
+		return DefaultDecodedCacheBytes
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Save writes the index to a single page-aligned file at path: a
@@ -63,7 +89,7 @@ func LoadWithOptions(path string, o LoadOptions) (*Index, error) {
 	if capacity < 0 {
 		capacity = 0
 	}
-	pix, err := persist.Load(path, capacity)
+	pix, err := persist.Load(path, capacity, o.decodedCacheBytes())
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +107,11 @@ func LoadWithOptions(path string, o LoadOptions) (*Index, error) {
 			Lambda:         pix.Lambda,
 			ExplicitLambda: true,
 			Fanout:         pix.Fanout,
+			// Carry the caller's decoded-cache setting into the loaded
+			// index's options, so session-level caches (the UserIndexed
+			// MIUR-tree cache) honor an explicit disable exactly as they
+			// do on a built index.
+			DecodedCacheBytes: o.DecodedCacheBytes,
 		},
 		model:  pix.Tree.Model(),
 		mir:    pix.Tree,
@@ -106,10 +137,34 @@ func (ix *Index) ReadStats() (records, pages int64) {
 	return s.Records, s.Pages
 }
 
-// CacheStats reports buffer-pool hits and misses (zeros when the index
-// runs cold, i.e. without a pool).
-func (ix *Index) CacheStats() (hits, misses int64) {
-	return ix.mir.CacheStats()
+// CacheStats reports the index's two cache levels: the byte-level buffer
+// pool in front of the page store (loaded indexes) and the decoded-object
+// cache above it (decoded tree nodes and posting lists, shared across
+// traversals and concurrent queries). Counters are zero for levels that
+// are not configured.
+type CacheStats struct {
+	// BufferHits and BufferMisses count buffer-pool lookups.
+	BufferHits, BufferMisses int64
+	// DecodedHits, DecodedMisses and DecodedEvictions count decoded-cache
+	// lookups and LRU evictions.
+	DecodedHits, DecodedMisses, DecodedEvictions int64
+	// DecodedEntries and DecodedBytes report current residency —
+	// DecodedBytes is the approximate resident size of all cached decoded
+	// objects, accounted per entry, and DecodedCapBytes the configured
+	// byte budget it is kept under.
+	DecodedEntries                int
+	DecodedBytes, DecodedCapBytes int64
+}
+
+// CacheStats reports cache effectiveness and residency for both cache
+// levels (zeros for unconfigured levels).
+func (ix *Index) CacheStats() CacheStats {
+	s := CacheStats{}
+	s.BufferHits, s.BufferMisses = ix.mir.CacheStats()
+	d := ix.mir.DecodedCacheStats()
+	s.DecodedHits, s.DecodedMisses, s.DecodedEvictions = d.Hits, d.Misses, d.Evictions
+	s.DecodedEntries, s.DecodedBytes, s.DecodedCapBytes = d.Entries, d.Bytes, d.CapBytes
+	return s
 }
 
 func measureFromKind(k textrel.MeasureKind) (Measure, error) {

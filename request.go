@@ -281,6 +281,18 @@ func (s *Session) runUserIndexed(q core.Query) (core.Selection, core.UserIndexSt
 	s.uiOnce.Do(func() {
 		scorer := s.engine.Scorer
 		s.miur = miurtree.Build(s.users, scorer, s.ix.opts.fanout())
+		// Later UserIndexed runs re-traverse the same user tree; cache the
+		// decoded nodes (simulated I/O accounting is unaffected — miurtree
+		// hits still charge node visits). The session budget follows the
+		// index's DecodedCacheBytes knob, capped at 8 MiB — which
+		// comfortably holds the user trees a session carries — so many
+		// cached sessions cannot outgrow what the operator tuned.
+		if b := s.ix.opts.decodedCacheBytes(); b > 0 {
+			if b > 8<<20 {
+				b = 8 << 20
+			}
+			s.miur.EnableDecodedCache(b)
+		}
 		s.uiEngine = core.NewEngine(s.ix.mir, scorer, s.users)
 	})
 	s.uiMu.Lock()
