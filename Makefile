@@ -2,8 +2,10 @@ GO ?= go
 SMOKEDIR ?= /tmp/maxbrstknn-smoke
 SERVEDIR ?= /tmp/maxbrstknn-serve-smoke
 SERVEADDR ?= 127.0.0.1:18080
+INGESTDIR ?= /tmp/maxbrstknn-ingest-smoke
+INGESTADDR ?= 127.0.0.1:18081
 
-.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke ci
 
 all: ci
 
@@ -71,4 +73,44 @@ serve-smoke:
 	echo "serve-smoke: all endpoints healthy (session cache + disk-backed index exercised)"
 	rm -rf $(SERVEDIR)
 
-ci: build vet race bench bench-smoke cli-smoke serve-smoke
+# Ingest smoke: serve a saved index and POST /add + /delete while query
+# traffic runs against it. Checks that the epoch advances, an added
+# keyword becomes queryable through /topk, deletes drop the live count
+# and dead ids 404 — then runs the ingest-vs-batch-build equivalence
+# gate at quick scale (benchrunner -exp ingest fails on any answer
+# mismatch between the mutated index and a from-scratch build).
+ingest-smoke:
+	rm -rf $(INGESTDIR) && mkdir -p $(INGESTDIR)
+	$(GO) build -o $(INGESTDIR)/ ./cmd/...
+	cd $(INGESTDIR) && ./datagen -n 2000 -users 100 -locations 10 -out . >/dev/null
+	cd $(INGESTDIR) && ./maxbrstknn build -data . -out index.mxbr >/dev/null
+	$(INGESTDIR)/maxbrserve -index $(INGESTDIR)/index.mxbr -addr $(INGESTADDR) >$(INGESTDIR)/serve.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	set -e; \
+	base=http://$(INGESTADDR); \
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 $$base/healthz | grep -q '"status":"ok"'; \
+	qpids=""; \
+	for w in 1 2 3 4; do \
+		( for q in 1 2 3 4 5 6 7 8; do \
+			curl -sf $$base/topk -d '{"x":25,"y":40,"keywords":["tag00000"],"k":3}' >/dev/null; \
+		done ) & qpids="$$qpids $$!"; \
+	done; \
+	id=0; \
+	for i in 1 2 3 4 5 6; do \
+		id=$$(curl -sf $$base/add -d '{"x":25,"y":40,"keywords":["tag00000","smokekw"]}' \
+			| sed -n 's/.*"id":\([0-9]*\).*/\1/p'); \
+		test -n "$$id"; \
+	done; \
+	wait $$qpids; \
+	curl -sf $$base/topk -d '{"x":25,"y":40,"keywords":["smokekw"],"k":10}' | grep -q "\"object_id\":$$id"; \
+	curl -sf $$base/stats | grep -q '"epoch":[1-9]'; \
+	curl -sf $$base/delete -d "{\"id\":$$id}" | grep -q '"live_objects":2005'; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' $$base/delete -d "{\"id\":$$id}"); \
+	test "$$code" = 404; \
+	echo "ingest-smoke: epoch advanced, added keyword queryable, deletes drop live count"
+	$(GO) run ./cmd/benchrunner -exp ingest -quick >/dev/null
+	@echo "ingest-smoke: ingest-vs-batch-build equivalence gate passed"
+	rm -rf $(INGESTDIR)
+
+ci: build vet race bench bench-smoke cli-smoke serve-smoke ingest-smoke

@@ -11,14 +11,22 @@
 //	benchrunner -exp scaling -groups 8   # parallel-engine speedup figure
 //	benchrunner -exp disk                # cold vs warm disk-backed serving
 //	benchrunner -exp hotpath -quick      # decoded-cache + scratch hot path
+//	benchrunner -exp ingest -quick       # query latency under live ingest
 //
 // Experiments: table4 table5 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations scaling disk hotpath.
+// fig13 fig14 fig15 ablations scaling disk hotpath ingest (ingest is
+// opt-in: it mutates its index, so -exp all skips it).
 //
 // The hotpath experiment verifies result equivalence between the cold
 // (decode-everything) and warm (decoded-cache) configurations and errors
 // on any mismatch; -benchout additionally writes its JSON report (ns/op,
 // allocs/op, cache hit rates) to the given file.
+//
+// The ingest experiment measures p50/p99 query latency while writer
+// goroutines continuously insert and delete objects — lock-free
+// snapshots vs an emulated reader/writer lock — and ends with the
+// ingest-vs-batch-build equivalence gate; -benchout writes its JSON
+// report (recorded as BENCH_ingest.json).
 //
 // The scaling experiment sweeps the parallel engine over 1/2/4/8 workers;
 // -groups pins the super-user group count across the sweep (default: one
@@ -121,14 +129,18 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			if *benchout != "" {
-				data, err := json.MarshalIndent(rep, "", "  ")
-				if err != nil {
-					return nil, err
-				}
-				if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
-					return nil, err
-				}
+			if err := writeBenchout(*benchout, rep); err != nil {
+				return nil, err
+			}
+			return tables, nil
+		}},
+		{"ingest", func() ([]*experiments.Table, error) {
+			tables, rep, err := serving.FigIngestReport(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeBenchout(*benchout, rep); err != nil {
+				return nil, err
 			}
 			return tables, nil
 		}},
@@ -149,6 +161,8 @@ func main() {
 		}},
 	}
 
+	// "all" regenerates the paper artifacts; ingest is opt-in like the
+	// explicit figure selections, so -exp all stays a read-only pass.
 	want := map[string]bool{}
 	runAll := *exp == "all"
 	for _, name := range strings.Split(*exp, ",") {
@@ -161,6 +175,9 @@ func main() {
 	matched := false
 	for _, e := range all {
 		if !runAll && !want[e.name] {
+			continue
+		}
+		if runAll && e.name == "ingest" && !want[e.name] {
 			continue
 		}
 		matched = true
@@ -179,4 +196,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeBenchout writes an experiment's JSON report to path (no-op when
+// no -benchout was given).
+func writeBenchout(path string, rep any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

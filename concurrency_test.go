@@ -210,8 +210,9 @@ func TestAddObjectConcurrentWithTopK(t *testing.T) {
 			}
 		}
 	}()
-	// ...against several reader streams. AddObject holds the index's
-	// write lock, so every TopK observes a consistent tree.
+	// ...against several reader streams. Each TopK loads the published
+	// snapshot once and traverses that immutable tree, so readers never
+	// block on the writer and always observe a consistent epoch.
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {

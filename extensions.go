@@ -20,8 +20,6 @@ func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.ix.mu.RLock()
-	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return nil, err
@@ -56,8 +54,6 @@ func (s *Session) RunMultiple(req Request, m int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.ix.mu.RLock()
-	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return nil, err

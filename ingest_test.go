@@ -1,0 +1,339 @@
+package maxbrstknn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// ingestWords is the keyword pool the ingest tests draw from; fresh
+// per-mutation keywords are added on top to grow the vocabulary past the
+// build-time fence.
+var ingestWords = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// applyIngestScript drives a deterministic mix of AddObject /
+// DeleteObject / UpdateObject against idx: fresh keywords, deletes of
+// both build-time and ingested objects, updates that re-home an object
+// under a new id. Returns the number of live objects it expects.
+func applyIngestScript(t *testing.T, idx *Index, seed int64) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var live []int
+	for i := 0; i < idx.NumObjects(); i++ {
+		live = append(live, i)
+	}
+	for i := 0; i < 80; i++ {
+		switch {
+		case i%5 == 3 && len(live) > 8: // delete a random live object
+			j := rng.Intn(len(live))
+			if err := idx.DeleteObject(live[j]); err != nil {
+				t.Fatalf("delete %d: %v", live[j], err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		case i%7 == 5 && len(live) > 0: // update a random live object
+			j := rng.Intn(len(live))
+			nid, err := idx.UpdateObject(live[j], rng.Float64()*10, rng.Float64()*10,
+				ingestWords[rng.Intn(len(ingestWords))], fmt.Sprintf("upd%d", i))
+			if err != nil {
+				t.Fatalf("update %d: %v", live[j], err)
+			}
+			live[j] = nid
+		default:
+			kws := []string{ingestWords[rng.Intn(len(ingestWords))]}
+			if i%4 == 0 {
+				kws = append(kws, fmt.Sprintf("ingest%d", i))
+			}
+			id, err := idx.AddObject(rng.Float64()*10, rng.Float64()*10, kws...)
+			if err != nil {
+				t.Fatalf("add: %v", err)
+			}
+			live = append(live, id)
+		}
+	}
+	return len(live)
+}
+
+// idRemap returns the dense order-preserving old-id → compacted-id map
+// the Compact contract documents.
+func idRemap(idx *Index) map[int]int {
+	sn := idx.snap.Load()
+	m := make(map[int]int, sn.live)
+	next := 0
+	for id := 0; id < len(sn.tree.Dataset().Objects); id++ {
+		if !sn.isDeleted(int32(id)) {
+			m[id] = next
+			next++
+		}
+	}
+	return m
+}
+
+// assertAnswersMatchCompact is the standing invariant of the snapshot
+// design: idx must answer identically to a from-scratch batch build over
+// its live object set, for every strategy and every ParallelOptions
+// setting. Top-k lists are compared through the documented dense id
+// remap with exact score equality.
+func assertAnswersMatchCompact(t *testing.T, idx *Index, req Request) {
+	t.Helper()
+	compact, err := idx.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compact.NumObjects() != idx.NumObjects() {
+		t.Fatalf("compact has %d objects, original %d", compact.NumObjects(), idx.NumObjects())
+	}
+
+	remap := idRemap(idx)
+	rng := rand.New(rand.NewSource(999))
+	for i := 0; i < 10; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		kws := []string{ingestWords[rng.Intn(len(ingestWords))], ingestWords[rng.Intn(len(ingestWords))]}
+		a, err := idx.TopK(x, y, kws, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := compact.TopK(x, y, kws, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("TopK(%v): %d results vs compact %d", kws, len(a), len(b))
+		}
+		for r := range a {
+			if remap[a[r].ObjectID] != b[r].ObjectID || a[r].Score != b[r].Score {
+				t.Fatalf("TopK(%v) rank %d: (%d→%d, %v) vs compact (%d, %v)",
+					kws, r, a[r].ObjectID, remap[a[r].ObjectID], a[r].Score, b[r].ObjectID, b[r].Score)
+			}
+		}
+	}
+
+	for _, strat := range []Strategy{Exact, Approx, Exhaustive, UserIndexed} {
+		for _, par := range []ParallelOptions{{}, {Workers: 2}, {Workers: 4, Groups: 8}} {
+			r := req
+			r.Strategy, r.Parallel = strat, par
+			a, err := idx.MaxBRSTkNN(r)
+			if err != nil {
+				t.Fatalf("%v/%+v: %v", strat, par, err)
+			}
+			b, err := compact.MaxBRSTkNN(r)
+			if err != nil {
+				t.Fatalf("%v/%+v compact: %v", strat, par, err)
+			}
+			// Pruning statistics may differ (the rebuilt tree has another
+			// shape); the answer must not.
+			a.Stats, b.Stats = PruningStats{}, PruningStats{}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%v/%+v: ingested answer %+v != batch rebuild %+v", strat, par, a, b)
+			}
+		}
+	}
+}
+
+// TestIngestOracleBuiltAndLoaded mutates a built index through the full
+// Add/Delete/Update surface, pins the batch-build equivalence oracle,
+// then round-trips the mutated index through Save/Load and pins the
+// oracle again on the loaded side — deletions must persist, answers must
+// be byte-identical between the built and loaded indexes.
+func TestIngestOracleBuiltAndLoaded(t *testing.T) {
+	idx, req := stressInstance(t)
+	wantLive := applyIngestScript(t, idx, 21)
+	if got := idx.NumObjects(); got != wantLive {
+		t.Fatalf("NumObjects = %d, script expects %d", got, wantLive)
+	}
+	assertAnswersMatchCompact(t, idx, req)
+
+	path := filepath.Join(t.TempDir(), "ingested.mxbr")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := loaded.NumObjects(); got != wantLive {
+		t.Fatalf("loaded NumObjects = %d, want %d (deletions must persist)", got, wantLive)
+	}
+	if loaded.Epoch() != 0 {
+		t.Fatalf("loaded epoch = %d, want a fresh counter", loaded.Epoch())
+	}
+
+	// Byte-identity between built and loaded answers (ids included).
+	for _, strat := range []Strategy{Exact, Approx, Exhaustive, UserIndexed} {
+		r := req
+		r.Strategy = strat
+		a, err := idx.MaxBRSTkNN(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.MaxBRSTkNN(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: loaded answer %+v != built %+v", strat, b, a)
+		}
+	}
+
+	// The loaded index keeps mutating and still matches its batch build.
+	if _, err := loaded.AddObject(4, 4, "a", "post-load"); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.DeleteObject(0); err != nil && !errors.Is(err, ErrNoSuchObject) {
+		t.Fatal(err)
+	}
+	assertAnswersMatchCompact(t, loaded, req)
+}
+
+// TestAddObjectAllOrNothing is the regression test for the dirty error
+// path the RWMutex-era AddObject had: terms were added to the vocabulary
+// before the insert, so a failed insert left the vocabulary mutated.
+// Driving an insert into a backend whose file is closed must leave no
+// trace: same snapshot pointer, same vocabulary size, same epoch.
+func TestAddObjectAllOrNothing(t *testing.T) {
+	idx, _ := stressInstance(t)
+	path := filepath.Join(t.TempDir(), "ao.mxbr")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Caches off: the insert's first node read must hit the (closed) file.
+	loaded, err := LoadWithOptions(path, LoadOptions{CacheCapacity: -1, DecodedCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapBefore := loaded.snap.Load()
+	vocabBefore := loaded.wvocab.Size()
+	objectsBefore := loaded.NumObjects()
+
+	if _, err := loaded.AddObject(1, 1, "a", "never-seen-term"); err == nil {
+		t.Fatal("AddObject against a closed backend should fail")
+	}
+	if loaded.snap.Load() != snapBefore {
+		t.Error("failed AddObject published a snapshot")
+	}
+	if got := loaded.wvocab.Size(); got != vocabBefore {
+		t.Errorf("failed AddObject left vocabulary at %d terms, want %d (rollback)", got, vocabBefore)
+	}
+	if got := loaded.NumObjects(); got != objectsBefore {
+		t.Errorf("failed AddObject changed NumObjects: %d != %d", got, objectsBefore)
+	}
+	if loaded.Epoch() != 0 {
+		t.Errorf("failed AddObject advanced the epoch to %d", loaded.Epoch())
+	}
+
+	// Same all-or-nothing contract for UpdateObject.
+	if _, err := loaded.UpdateObject(0, 2, 2, "another-fresh-term"); err == nil {
+		t.Fatal("UpdateObject against a closed backend should fail")
+	}
+	if got := loaded.wvocab.Size(); got != vocabBefore {
+		t.Errorf("failed UpdateObject left vocabulary at %d terms, want %d", got, vocabBefore)
+	}
+	if loaded.snap.Load() != snapBefore {
+		t.Error("failed UpdateObject published a snapshot")
+	}
+}
+
+// TestIngestRaceStress shares one index between 16 goroutines running
+// sustained inserts, deletes, one-shot queries across every strategy,
+// and session builds — the `go test -race` workout of the lock-free
+// reader path. After the storm settles, the batch-build oracle must
+// still hold.
+func TestIngestRaceStress(t *testing.T) {
+	idx, req := stressInstance(t)
+	strategies := []Strategy{Exact, Approx, Exhaustive, UserIndexed}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	var idMu sync.Mutex
+	var added []int
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 6; i++ {
+				switch g % 4 {
+				case 0: // writer: insert, sometimes delete an earlier insert
+					id, err := idx.AddObject(rng.Float64()*10, rng.Float64()*10,
+						ingestWords[rng.Intn(len(ingestWords))], fmt.Sprintf("race%d-%d", g, i))
+					if err != nil {
+						errc <- fmt.Errorf("writer %d: %w", g, err)
+						return
+					}
+					idMu.Lock()
+					added = append(added, id)
+					var victim = -1
+					if i%2 == 1 && len(added) > 0 {
+						j := rng.Intn(len(added))
+						victim = added[j]
+						added = append(added[:j], added[j+1:]...)
+					}
+					idMu.Unlock()
+					if victim >= 0 {
+						if err := idx.DeleteObject(victim); err != nil && !errors.Is(err, ErrNoSuchObject) {
+							errc <- fmt.Errorf("deleter %d: %w", g, err)
+							return
+						}
+					}
+				case 1: // one-shot top-k reader
+					res, err := idx.TopK(rng.Float64()*10, rng.Float64()*10, []string{"a", "b"}, 3)
+					if err != nil {
+						errc <- fmt.Errorf("topk %d: %w", g, err)
+						return
+					}
+					if len(res) == 0 {
+						errc <- fmt.Errorf("topk %d: empty result", g)
+						return
+					}
+				case 2: // one-shot MaxBRSTkNN, rotating strategies
+					r := req
+					r.Strategy = strategies[(g+i)%len(strategies)]
+					r.Parallel = ParallelOptions{Workers: 1 + g%3}
+					if _, err := idx.MaxBRSTkNN(r); err != nil {
+						errc <- fmt.Errorf("query %d %v: %w", g, r.Strategy, err)
+						return
+					}
+				default: // session builder: pin a snapshot, run on it
+					s, err := idx.NewSession(req.Users, req.K)
+					if err != nil {
+						errc <- fmt.Errorf("session %d: %w", g, err)
+						return
+					}
+					r := req
+					r.Strategy = strategies[i%len(strategies)]
+					if _, err := s.Run(r); err != nil {
+						errc <- fmt.Errorf("session run %d %v: %w", g, r.Strategy, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	st := idx.IngestStats()
+	if st.Epoch == 0 || st.RetiredRecords == 0 {
+		t.Fatalf("stress run published nothing: %+v", st)
+	}
+	if st.LiveObjects != idx.NumObjects() {
+		t.Fatalf("ingest stats live %d != NumObjects %d", st.LiveObjects, idx.NumObjects())
+	}
+	assertAnswersMatchCompact(t, idx, req)
+}

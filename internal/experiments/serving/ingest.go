@@ -1,0 +1,363 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	maxbrstknn "repro"
+	"repro/internal/experiments"
+	"repro/internal/indexutil"
+	"repro/internal/vocab"
+)
+
+// IngestVariant is one measured configuration of the ingest experiment:
+// the per-query latency distribution of a pool of query goroutines,
+// alone or racing a sustained ingest stream.
+type IngestVariant struct {
+	Name    string  `json:"name"`
+	Queries int     `json:"queries"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	// Mutations counts the writer operations that completed while the
+	// queries ran (inserts + deletes), and Epochs the published epochs.
+	Mutations int    `json:"mutations"`
+	Epochs    uint64 `json:"epochs"`
+}
+
+// IngestReport is the JSON shape recorded to BENCH_ingest.json.
+type IngestReport struct {
+	GeneratedAt  string          `json:"generated_at"`
+	GoMaxProcs   int             `json:"gomaxprocs"`
+	Objects      int             `json:"objects"`
+	Users        int             `json:"users"`
+	K            int             `json:"k"`
+	QueryWorkers int             `json:"query_workers"`
+	Writers      int             `json:"writers"`
+	Variants     []IngestVariant `json:"variants"`
+	// EquivalenceChecked records that the final ingested index was
+	// compared against a batch rebuild over the same live objects —
+	// top-k scores for every user and MaxBRSTkNN answers for every
+	// strategy — and matched.
+	EquivalenceChecked bool `json:"equivalence_checked"`
+}
+
+const (
+	ingestQueryWorkers = 4
+	ingestWriters      = 2
+)
+
+// ingestFixture bundles one variant's fresh facade index with the query
+// and writer streams that hammer it.
+type ingestFixture struct {
+	idx   *maxbrstknn.Index
+	users []maxbrstknn.UserSpec
+	terms []string
+	k     int
+}
+
+func newIngestFixture(cfg experiments.Config, w *experiments.Workload) (*ingestFixture, error) {
+	b := indexutil.BuilderFromDataset(w.DS)
+	idx, err := b.Build(maxbrstknn.Options{
+		Measure: measureOf(cfg), Alpha: cfg.Alpha, ExplicitAlpha: true,
+		Fanout: cfg.Fanout, DecodedCacheBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]string, w.DS.Vocab.Size())
+	for i := range terms {
+		terms[i] = w.DS.Vocab.Term(vocab.TermID(i))
+	}
+	return &ingestFixture{
+		idx:   idx,
+		users: indexutil.UserSpecs(w.DS.Vocab, w.US.Users),
+		terms: terms,
+		k:     cfg.K,
+	}, nil
+}
+
+// measureIngestVariant runs queriesPerWorker one-shot top-k queries on
+// each of ingestQueryWorkers goroutines. With writers == true, ingest
+// goroutines concurrently insert (and every third op delete) objects for
+// the whole measurement window. lock, when non-nil, emulates the
+// pre-snapshot design: readers and writers share one RWMutex, so a
+// writer mid-mutation stalls every query — the baseline the lock-free
+// snapshots are measured against.
+func measureIngestVariant(name string, fx *ingestFixture, queriesPerWorker int, writers bool, lock *sync.RWMutex) (IngestVariant, error) {
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	var writerErr error
+	var writerMu sync.Mutex
+	counts := make([]int, ingestWriters)
+	if writers {
+		for g := 0; g < ingestWriters; g++ {
+			writerWG.Add(1)
+			go func(g int) {
+				defer writerWG.Done()
+				rng := rand.New(rand.NewSource(int64(7000 + g)))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					kw := []string{
+						fx.terms[rng.Intn(len(fx.terms))],
+						fmt.Sprintf("ingest-w%d-%d", g, i),
+					}
+					u := fx.users[rng.Intn(len(fx.users))]
+					if lock != nil {
+						lock.Lock()
+					}
+					id, err := fx.idx.AddObject(u.X, u.Y, kw...)
+					if err == nil && i%3 == 2 {
+						err = fx.idx.DeleteObject(id)
+						counts[g]++
+					}
+					if lock != nil {
+						lock.Unlock()
+					}
+					if err != nil {
+						writerMu.Lock()
+						writerErr = err
+						writerMu.Unlock()
+						return
+					}
+					counts[g]++
+				}
+			}(g)
+		}
+	}
+
+	latencies := make([][]float64, ingestQueryWorkers)
+	var qWG sync.WaitGroup
+	errc := make(chan error, ingestQueryWorkers)
+	for g := 0; g < ingestQueryWorkers; g++ {
+		qWG.Add(1)
+		go func(g int) {
+			defer qWG.Done()
+			lats := make([]float64, 0, queriesPerWorker)
+			for i := 0; i < queriesPerWorker; i++ {
+				u := fx.users[(g*queriesPerWorker+i)%len(fx.users)]
+				start := time.Now()
+				if lock != nil {
+					lock.RLock()
+				}
+				_, err := fx.idx.TopK(u.X, u.Y, u.Keywords, fx.k)
+				if lock != nil {
+					lock.RUnlock()
+				}
+				lats = append(lats, float64(time.Since(start).Nanoseconds())/1e6)
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			latencies[g] = lats
+		}(g)
+	}
+	qWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	close(errc)
+	for err := range errc {
+		return IngestVariant{}, err
+	}
+	if writerErr != nil {
+		return IngestVariant{}, writerErr
+	}
+	mutations := 0
+	for _, c := range counts {
+		mutations += c
+	}
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	v := IngestVariant{
+		Name:      name,
+		Queries:   len(all),
+		P50Ms:     percentile(all, 0.50),
+		P99Ms:     percentile(all, 0.99),
+		MaxMs:     all[len(all)-1],
+		Mutations: mutations,
+		Epochs:    fx.idx.Epoch(),
+	}
+	return v, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// checkIngestEquivalence pins the standing invariant: the ingested index
+// must answer identically to a from-scratch batch build over the same
+// live object set (Compact injects the frozen model context, so only
+// dead slots and retired records differ). The rebuild densely remaps
+// object ids, so top-k lists are compared by exact score at every rank —
+// any reachability or weight divergence breaks that loudly — and
+// MaxBRSTkNN answers (locations, keywords, covered users) must match
+// verbatim for every strategy.
+func checkIngestEquivalence(cfg experiments.Config, w *experiments.Workload, fx *ingestFixture) error {
+	compact, err := fx.idx.Compact()
+	if err != nil {
+		return err
+	}
+
+	if compact.NumObjects() != fx.idx.NumObjects() {
+		return fmt.Errorf("experiments: compacted index has %d objects, live index %d",
+			compact.NumObjects(), fx.idx.NumObjects())
+	}
+
+	for ui, u := range fx.users {
+		a, err := fx.idx.TopK(u.X, u.Y, u.Keywords, fx.k)
+		if err != nil {
+			return err
+		}
+		b, err := compact.TopK(u.X, u.Y, u.Keywords, fx.k)
+		if err != nil {
+			return err
+		}
+		if len(a) != len(b) {
+			return fmt.Errorf("experiments: user %d: ingested index returned %d results, batch rebuild %d", ui, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Score != b[i].Score {
+				return fmt.Errorf("experiments: user %d rank %d: ingested score %v, batch rebuild %v (equivalence violated)",
+					ui, i, a[i].Score, b[i].Score)
+			}
+		}
+	}
+
+	locs := make([][2]float64, len(w.Locs))
+	for i, l := range w.Locs {
+		locs[i] = [2]float64{l.X, l.Y}
+	}
+	kws := make([]string, len(w.US.Keywords))
+	for i, t := range w.US.Keywords {
+		kws[i] = w.DS.Vocab.Term(t)
+	}
+	for _, strat := range []maxbrstknn.Strategy{
+		maxbrstknn.Exact, maxbrstknn.Approx, maxbrstknn.Exhaustive, maxbrstknn.UserIndexed,
+	} {
+		req := maxbrstknn.Request{
+			Users: fx.users, Locations: locs, Keywords: kws,
+			MaxKeywords: cfg.WS, K: cfg.K, Strategy: strat,
+		}
+		a, err := fx.idx.MaxBRSTkNN(req)
+		if err != nil {
+			return err
+		}
+		b, err := compact.MaxBRSTkNN(req)
+		if err != nil {
+			return err
+		}
+		// Pruning statistics legitimately differ (the rebuilt tree has a
+		// different shape); the answer itself must not.
+		a.Stats, b.Stats = maxbrstknn.PruningStats{}, maxbrstknn.PruningStats{}
+		if !reflect.DeepEqual(a, b) {
+			return fmt.Errorf("experiments: %v: ingested answer %+v differs from batch rebuild %+v (equivalence violated)", strat, a, b)
+		}
+	}
+	return nil
+}
+
+// FigIngestReport measures query latency under sustained concurrent
+// ingestion — the tentpole scenario of the snapshot design. Three
+// variants share one workload: queries alone (the floor), queries racing
+// a sustained insert+delete stream through the lock-free snapshots, and
+// the same race through an emulated reader/writer lock (the pre-snapshot
+// design, where every mutation stalls every query). The experiment ends
+// with the batch-build equivalence gate: the ingested index must answer
+// identically to a fresh build over its live objects, for every
+// strategy.
+func FigIngestReport(cfg experiments.Config) ([]*experiments.Table, *IngestReport, error) {
+	w := experiments.NewWorkload(cfg, 0)
+	queriesPerWorker := cfg.NumUsers
+	if queriesPerWorker < 50 {
+		queriesPerWorker = 50
+	}
+	if queriesPerWorker > 400 {
+		queriesPerWorker = 400
+	}
+
+	rep := &IngestReport{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Objects:      cfg.NumObjects,
+		Users:        cfg.NumUsers,
+		K:            cfg.K,
+		QueryWorkers: ingestQueryWorkers,
+		Writers:      ingestWriters,
+	}
+
+	var ingested *ingestFixture
+	for _, spec := range []struct {
+		name    string
+		writers bool
+		locked  bool
+	}{
+		{"read-only", false, false},
+		{"snapshot-ingest", true, false},
+		{"rwmutex-ingest", true, true},
+	} {
+		fx, err := newIngestFixture(cfg, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		var lock *sync.RWMutex
+		if spec.locked {
+			lock = &sync.RWMutex{}
+		}
+		v, err := measureIngestVariant(spec.name, fx, queriesPerWorker, spec.writers, lock)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Variants = append(rep.Variants, v)
+		if spec.name == "snapshot-ingest" {
+			ingested = fx
+		}
+	}
+
+	if err := checkIngestEquivalence(cfg, w, ingested); err != nil {
+		return nil, nil, err
+	}
+	rep.EquivalenceChecked = true
+
+	t := &experiments.Table{
+		Title: fmt.Sprintf("Ingest — query latency under sustained insert+delete (%d query workers, %d writers, GOMAXPROCS=%d)",
+			ingestQueryWorkers, ingestWriters, rep.GoMaxProcs),
+		Header: []string{"variant", "queries", "p50(ms)", "p99(ms)", "max(ms)", "mutations", "epochs"},
+	}
+	for _, v := range rep.Variants {
+		t.AddRow(v.Name, fmt.Sprint(v.Queries), f2(v.P50Ms), f2(v.P99Ms), f2(v.MaxMs),
+			fmt.Sprint(v.Mutations), fmt.Sprint(v.Epochs))
+	}
+	return []*experiments.Table{t}, rep, nil
+}
+
+// FigIngest is the benchrunner entry point of the ingest experiment.
+func FigIngest(cfg experiments.Config) ([]*experiments.Table, error) {
+	tables, _, err := FigIngestReport(cfg)
+	return tables, err
+}

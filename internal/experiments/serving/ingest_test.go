@@ -1,0 +1,39 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestFigIngest(t *testing.T) {
+	cfg := experiments.Quick()
+	cfg.NumObjects = 600
+	cfg.NumUsers = 40
+	cfg.Runs = 1
+	tables, rep, err := FigIngestReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(rep.Variants) != 3 {
+		t.Fatalf("got %d tables / %d variants", len(tables), len(rep.Variants))
+	}
+	if !rep.EquivalenceChecked {
+		t.Fatal("equivalence gate did not run")
+	}
+	for _, v := range rep.Variants {
+		if v.Queries == 0 || v.P50Ms <= 0 || v.P99Ms < v.P50Ms {
+			t.Fatalf("implausible latency stats: %+v", v)
+		}
+		switch v.Name {
+		case "read-only":
+			if v.Mutations != 0 || v.Epochs != 0 {
+				t.Fatalf("read-only variant saw writes: %+v", v)
+			}
+		default:
+			if v.Mutations == 0 || v.Epochs == 0 {
+				t.Fatalf("ingest variant %q saw no writes", v.Name)
+			}
+		}
+	}
+}

@@ -38,9 +38,11 @@ func TestInsertGrowsAndStaysConsistent(t *testing.T) {
 	tree, rest, _, _ := insertFixture(t, 600, 51)
 	before := len(tree.Dataset().Objects)
 	for _, o := range rest {
-		if err := tree.Insert(o); err != nil {
+		nt, err := tree.WithInsert(o)
+		if err != nil {
 			t.Fatal(err)
 		}
+		tree = nt
 	}
 	if got := len(tree.Dataset().Objects); got != before+len(rest) {
 		t.Fatalf("objects = %d, want %d", got, before+len(rest))
@@ -106,9 +108,11 @@ func TestInsertGrowsAndStaysConsistent(t *testing.T) {
 func TestInsertTopKMatchesBruteForce(t *testing.T) {
 	tree, rest, scorer, full := insertFixture(t, 500, 61)
 	for _, o := range rest {
-		if err := tree.Insert(o); err != nil {
+		nt, err := tree.WithInsert(o)
+		if err != nil {
 			t.Fatal(err)
 		}
+		tree = nt
 	}
 	us := dataset.GenerateUsers(full, dataset.UserConfig{NumUsers: 15, UL: 3, UW: 12, Area: 20, Seed: 62})
 	for ui := range us.Users {
@@ -136,9 +140,11 @@ func TestInsertPostingBoundsInvariant(t *testing.T) {
 	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 	for i := range rest {
 		rest[i].ID = int32(len(tree.Dataset().Objects)) // IDs must stay dense
-		if err := tree.Insert(rest[i]); err != nil {
+		nt, err := tree.WithInsert(rest[i])
+		if err != nil {
 			t.Fatal(err)
 		}
+		tree = nt
 	}
 	model := tree.Model()
 	ds := tree.Dataset()
@@ -197,7 +203,7 @@ func TestInsertIntoEmptyTree(t *testing.T) {
 	scorer := textrel.NewScorer(ds, textrel.KO, 0.5)
 	tree := Build(ds, scorer.Model, Config{Kind: MIRTree, Fanout: 8})
 	for i := 0; i < 30; i++ {
-		err := tree.Insert(dataset.Object{
+		nt, err := tree.WithInsert(dataset.Object{
 			ID:  int32(i),
 			Loc: geo.Point{X: float64(i % 6), Y: float64(i / 6)},
 			Doc: vocab.DocFromTerms([]vocab.TermID{a}),
@@ -205,6 +211,7 @@ func TestInsertIntoEmptyTree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		tree = nt
 	}
 	root, err := tree.ReadNode(tree.RootID())
 	if err != nil {
@@ -222,7 +229,10 @@ func TestInsertRejectsBadID(t *testing.T) {
 	tree, rest, _, _ := insertFixture(t, 100, 81)
 	bad := rest[0]
 	bad.ID = 9999
-	if err := tree.Insert(bad); err == nil {
+	if _, err := tree.WithInsert(bad); err == nil {
 		t.Error("non-dense ID should be rejected")
+	}
+	if _, err := tree.WithDelete(9999); err == nil {
+		t.Error("deleting an unknown object should be rejected")
 	}
 }

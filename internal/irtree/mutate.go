@@ -1,0 +1,599 @@
+package irtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/invfile"
+	"repro/internal/storage"
+	"repro/internal/vocab"
+)
+
+// This file implements incremental maintenance — the paper's Section 5.1
+// promise that "the update costs of the MIR-tree are the same as the
+// IR-tree" — as copy-on-write mutations over immutable snapshots. A
+// mutation prepares its changes entirely off to the side: modified nodes
+// are re-encoded and appended to the (append-only) record store, and the
+// node-id → record table is path-copied chunk by chunk. Nothing a
+// published snapshot can reach is ever touched, so readers traverse
+// concurrently with zero synchronization; the facade installs the
+// returned successor snapshot with one atomic pointer swap.
+//
+// Term weights are computed under the corpus statistics frozen at Build
+// time (the standard IR practice: collection statistics refresh on
+// rebuild, not per document), which is what makes every snapshot answer
+// byte-identically to a batch build over its live objects.
+
+// WithInsert returns a successor snapshot containing o. The object's ID
+// must equal the snapshot's object count (ids are append-only; deletes
+// leave dead slots); o is appended to the successor's dataset. On error
+// the receiver is unchanged and no state was published. Single writer
+// only.
+func (t *Tree) WithInsert(o dataset.Object) (*Tree, error) {
+	m := t.newMutation()
+	if err := m.insert(o); err != nil {
+		return nil, err
+	}
+	return m.freeze(), nil
+}
+
+// WithDelete returns a successor snapshot without object id. The object
+// keeps its dataset slot (ids never shift) but is no longer reachable
+// from the tree. On error the receiver is unchanged. Single writer only.
+func (t *Tree) WithDelete(id int32) (*Tree, error) {
+	m := t.newMutation()
+	if err := m.delete(id); err != nil {
+		return nil, err
+	}
+	return m.freeze(), nil
+}
+
+// WithReplace deletes object del and inserts o as one mutation: the two
+// steps publish as a single successor snapshot (one epoch), so no reader
+// can ever observe the in-between state with the object missing. On
+// error the receiver is unchanged. Single writer only.
+func (t *Tree) WithReplace(del int32, o dataset.Object) (*Tree, error) {
+	m := t.newMutation()
+	if err := m.delete(del); err != nil {
+		return nil, err
+	}
+	if err := m.insert(o); err != nil {
+		return nil, err
+	}
+	return m.freeze(), nil
+}
+
+// mutation is the writer's private workspace: a copy-on-write node-table
+// edit, the working object slice, and the records this mutation
+// supersedes. Reads go through the edit so a later step of the same
+// mutation sees an earlier step's writes; nothing is visible to readers
+// until freeze.
+type mutation struct {
+	t       *Tree
+	edit    *tableEdit
+	objects []dataset.Object
+	rootID  int32
+	height  int
+	retired storage.RetireSet
+}
+
+func (t *Tree) newMutation() *mutation {
+	return &mutation{
+		t:       t,
+		edit:    editOf(t.nodes),
+		objects: t.ds.Objects,
+		rootID:  t.rootID,
+		height:  t.height,
+	}
+}
+
+// freeze publishes the mutation as an immutable successor snapshot and
+// applies the retirement set: decoded-cache entries of superseded records
+// are evicted in one batch (readers pinning older snapshots simply
+// re-decode on demand), and the shared ledger is advanced. The working
+// object slice grows append-only over the base snapshot's, so existing
+// readers never observe the new elements.
+func (m *mutation) freeze() *Tree {
+	base := m.t
+	nt := &Tree{
+		sh: base.sh,
+		ds: &dataset.Dataset{
+			Objects: m.objects,
+			Vocab:   base.ds.Vocab,
+			Stats:   base.ds.Stats,
+			Space:   base.ds.Space,
+		},
+		nodes:    m.edit.nodeTable,
+		rootID:   m.rootID,
+		height:   m.height,
+		numNodes: m.edit.n,
+		epoch:    base.epoch + 1,
+	}
+	records, pages := m.retired.Apply(base.sh.decoded, base.sh.pager)
+	base.sh.retiredRecords.Add(records)
+	base.sh.retiredPages.Add(pages)
+	return nt
+}
+
+// readNode decodes a private *NodeData through the mutation's edit table,
+// so in-flight rewrites are visible to later steps. Never cached: the
+// returned node may be mutated freely.
+func (m *mutation) readNode(id int32) (*NodeData, error) {
+	page := m.edit.page(id)
+	if page == storage.InvalidPage {
+		return nil, fmt.Errorf("irtree: unknown node %d", id)
+	}
+	return m.t.decodeNodeAt(id, page)
+}
+
+// readInv decodes a private copy of a node's inverted file.
+func (m *mutation) readInv(node *NodeData) (*invfile.File, error) {
+	buf, err := m.t.readInvBytes(node.InvID)
+	if err != nil {
+		return nil, err
+	}
+	return invfile.Decode(buf)
+}
+
+func (m *mutation) fanout() int {
+	if f := m.t.sh.cfgFanout; f > 0 {
+		return f
+	}
+	return 64
+}
+
+// writeNodeData re-encodes a node and its inverted file, appending fresh
+// records and repointing the node id in the edit table. oldInv is the
+// superseded inverted file's record (InvalidPage when the node is new);
+// it and the superseded node record join the retirement set, evicted
+// from the decoded cache if and when this mutation publishes.
+func (m *mutation) writeNodeData(id int32, leaf bool, entries []NodeEntry, inv *invfile.File, oldInv storage.PageID) {
+	if old := m.edit.page(id); old != storage.InvalidPage {
+		m.retired.Add(old)
+	}
+	if oldInv != storage.InvalidPage {
+		m.retired.Add(oldInv)
+	}
+	sh := m.t.sh
+	invID := sh.store.Put(inv, sh.kind == MIRTree)
+	counts := make([]int32, len(entries))
+	total := int32(0)
+	rtEntries := make([]rtreeEntry, len(entries))
+	for i, e := range entries {
+		counts[i] = e.Count
+		total += e.Count
+		rtEntries[i] = rtreeEntry{rect: e.Rect, child: e.Child}
+	}
+	m.edit.set(id, sh.pager.WriteRecord(encodeNodeParts(leaf, rtEntries, counts, total, invID)))
+}
+
+// dropNode retires a node that lost its last entry: its records join the
+// retirement set and its id becomes a dead slot.
+func (m *mutation) dropNode(id int32, node *NodeData) {
+	m.retired.Add(m.edit.page(id))
+	m.retired.Add(node.InvID)
+	m.edit.set(id, storage.InvalidPage)
+}
+
+// step records the descent through one internal node: the node id and
+// the entry index taken.
+type step struct {
+	id    int32
+	entry int
+}
+
+// insert adds o: a choose-leaf descent, posting updates along the path,
+// and node splits on overflow.
+func (m *mutation) insert(o dataset.Object) error {
+	if int(o.ID) != len(m.objects) {
+		return fmt.Errorf("irtree: object ID %d must equal the object count %d", o.ID, len(m.objects))
+	}
+	m.objects = append(m.objects, o)
+	model := m.t.sh.model
+
+	if m.rootID < 0 {
+		// First object: a single leaf root.
+		m.rootID = m.edit.alloc()
+		m.height = 1
+		inv := invfile.New()
+		o.Doc.ForEach(func(tm vocab.TermID, _ int32) {
+			w := model.Weight(o.Doc, tm)
+			inv.Add(tm, invfile.Posting{Entry: 0, MaxW: w, MinW: w})
+		})
+		m.writeNodeData(m.rootID, true, []NodeEntry{{
+			Rect: geo.RectFromPoint(o.Loc), Child: o.ID, Count: 1,
+		}}, inv, storage.InvalidPage)
+		return nil
+	}
+
+	// Choose-leaf descent, remembering the path (node ids + entry index
+	// taken at each internal node).
+	var path []step
+	id := m.rootID
+	for {
+		node, err := m.readNode(id)
+		if err != nil {
+			return err
+		}
+		if node.Leaf {
+			break
+		}
+		best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+		target := geo.RectFromPoint(o.Loc)
+		for i, e := range node.Entries {
+			enl := e.Rect.Enlargement(target)
+			area := e.Rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		path = append(path, step{id, best})
+		id = node.Entries[best].Child
+	}
+
+	// Add the object to the leaf.
+	leaf, err := m.readNode(id)
+	if err != nil {
+		return err
+	}
+	leafInv, err := m.readInv(leaf)
+	if err != nil {
+		return err
+	}
+	entryIdx := int32(len(leaf.Entries))
+	leaf.Entries = append(leaf.Entries, NodeEntry{
+		Rect: geo.RectFromPoint(o.Loc), Child: o.ID, Count: 1,
+	})
+	o.Doc.ForEach(func(tm vocab.TermID, _ int32) {
+		w := model.Weight(o.Doc, tm)
+		leafInv.Add(tm, invfile.Posting{Entry: entryIdx, MaxW: w, MinW: w})
+	})
+
+	splitID := int32(-1)
+	fanout := m.fanout()
+	if len(leaf.Entries) > fanout {
+		splitID, err = m.splitNode(id, leaf)
+		if err != nil {
+			return err
+		}
+	} else {
+		m.writeNodeData(id, true, leaf.Entries, leafInv, leaf.InvID)
+	}
+
+	// Propagate rect/count/posting updates (and any split) to the root.
+	childID, childSplit := id, splitID
+	for level := len(path) - 1; level >= 0; level-- {
+		parentID, entryIdx := path[level].id, path[level].entry
+		parent, err := m.readNode(parentID)
+		if err != nil {
+			return err
+		}
+		parentInv, err := m.readInv(parent)
+		if err != nil {
+			return err
+		}
+
+		// Refresh the taken entry from the child's new aggregate.
+		agg, rect, count, err := m.aggregateOf(childID)
+		if err != nil {
+			return err
+		}
+		parent.Entries[entryIdx].Rect = rect
+		parent.Entries[entryIdx].Count = count
+		updateEntryPostings(parentInv, int32(entryIdx), agg)
+
+		if childSplit >= 0 {
+			sAgg, sRect, sCount, err := m.aggregateOf(childSplit)
+			if err != nil {
+				return err
+			}
+			newIdx := int32(len(parent.Entries))
+			parent.Entries = append(parent.Entries, NodeEntry{Rect: sRect, Child: childSplit, Count: sCount})
+			updateEntryPostings(parentInv, newIdx, sAgg)
+		}
+
+		childSplit = -1
+		if len(parent.Entries) > fanout {
+			childSplit, err = m.splitNode(parentID, parent)
+			if err != nil {
+				return err
+			}
+		} else {
+			m.writeNodeData(parentID, false, parent.Entries, parentInv, parent.InvID)
+		}
+		childID = parentID
+	}
+
+	// Root overflowed: grow the tree.
+	if childSplit >= 0 {
+		newRoot := m.edit.alloc()
+		inv := invfile.New()
+		var entries []NodeEntry
+		for i, cid := range []int32{childID, childSplit} {
+			agg, rect, count, err := m.aggregateOf(cid)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, NodeEntry{Rect: rect, Child: cid, Count: count})
+			updateEntryPostings(inv, int32(i), agg)
+		}
+		m.writeNodeData(newRoot, false, entries, inv, storage.InvalidPage)
+		m.rootID = newRoot
+		m.height++
+	}
+	return nil
+}
+
+// delete removes object oid from the tree: find the holding leaf, drop
+// its entry, and propagate upward — underfull nodes are allowed (answer
+// correctness never depends on fill factors), emptied nodes cascade out
+// of their parents, and an internal root left with a single entry is
+// shrunk away.
+func (m *mutation) delete(oid int32) error {
+	if oid < 0 || int(oid) >= len(m.objects) {
+		return fmt.Errorf("irtree: no object %d", oid)
+	}
+	if m.rootID < 0 {
+		return fmt.Errorf("irtree: object %d not in tree", oid)
+	}
+	loc := m.objects[oid].Loc
+	var path []step
+	leafID, entryIdx, found, err := m.findLeaf(m.rootID, oid, loc, &path)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("irtree: object %d not in tree", oid)
+	}
+
+	leaf, err := m.readNode(leafID)
+	if err != nil {
+		return err
+	}
+	entries := append(leaf.Entries[:entryIdx:entryIdx], leaf.Entries[entryIdx+1:]...)
+	removed := len(entries) == 0
+	if removed {
+		m.dropNode(leafID, leaf)
+	} else if err := m.rebuildNodeFromEntries(leafID, true, entries, leaf.InvID); err != nil {
+		return err
+	}
+
+	childID := leafID
+	for level := len(path) - 1; level >= 0; level-- {
+		parentID, pIdx := path[level].id, path[level].entry
+		parent, err := m.readNode(parentID)
+		if err != nil {
+			return err
+		}
+		if removed {
+			// The child vanished: drop its entry. Entry indexes shift, so
+			// the inverted file is rebuilt from the remaining children.
+			pEntries := append(parent.Entries[:pIdx:pIdx], parent.Entries[pIdx+1:]...)
+			removed = len(pEntries) == 0
+			if removed {
+				m.dropNode(parentID, parent)
+			} else if err := m.rebuildNodeFromEntries(parentID, false, pEntries, parent.InvID); err != nil {
+				return err
+			}
+		} else {
+			// The child shrank in place: refresh its entry's rect, count
+			// and postings.
+			parentInv, err := m.readInv(parent)
+			if err != nil {
+				return err
+			}
+			agg, rect, count, err := m.aggregateOf(childID)
+			if err != nil {
+				return err
+			}
+			parent.Entries[pIdx].Rect = rect
+			parent.Entries[pIdx].Count = count
+			updateEntryPostings(parentInv, int32(pIdx), agg)
+			m.writeNodeData(parentID, false, parent.Entries, parentInv, parent.InvID)
+		}
+		childID = parentID
+	}
+
+	if removed {
+		// The last object left: the tree is empty again.
+		m.rootID = -1
+		m.height = 0
+		return nil
+	}
+
+	// Shrink an internal root down to its only child (repeatedly, in case
+	// a cascade left a chain of single-entry roots).
+	for {
+		root, err := m.readNode(m.rootID)
+		if err != nil {
+			return err
+		}
+		if root.Leaf || len(root.Entries) > 1 {
+			return nil
+		}
+		child := root.Entries[0].Child
+		m.dropNode(m.rootID, root)
+		m.rootID = child
+		m.height--
+	}
+}
+
+// findLeaf descends every subtree whose rect contains the object's
+// location until it finds the leaf entry referencing oid, recording the
+// taken path. R-tree rects overlap, so this may explore several branches;
+// path always reflects the branch currently being explored.
+func (m *mutation) findLeaf(id, oid int32, loc geo.Point, path *[]step) (leafID int32, entryIdx int, found bool, err error) {
+	node, err := m.readNode(id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if node.Leaf {
+		for i, e := range node.Entries {
+			if e.Child == oid {
+				return id, i, true, nil
+			}
+		}
+		return 0, 0, false, nil
+	}
+	for i, e := range node.Entries {
+		if !e.Rect.Contains(loc) {
+			continue
+		}
+		*path = append(*path, step{id, i})
+		leafID, entryIdx, found, err = m.findLeaf(e.Child, oid, loc, path)
+		if err != nil || found {
+			return leafID, entryIdx, found, err
+		}
+		*path = (*path)[:len(*path)-1]
+	}
+	return 0, 0, false, nil
+}
+
+// aggregateOf reconstructs a node's subtree aggregate from its stored
+// inverted file: a term's max weight is the posting maximum over entries;
+// it is "covered" (min weight > 0) only when every entry carries a
+// positive-minimum posting for it.
+func (m *mutation) aggregateOf(id int32) (nodeAgg, geo.Rect, int32, error) {
+	node, err := m.readNode(id)
+	if err != nil {
+		return nil, geo.Rect{}, 0, err
+	}
+	inv, err := m.readInv(node)
+	if err != nil {
+		return nil, geo.Rect{}, 0, err
+	}
+	agg := make(nodeAgg)
+	nEntries := len(node.Entries)
+	for _, tm := range inv.Terms() {
+		ps := inv.Postings(tm)
+		a := aggEntry{minW: math.Inf(1), covered: len(ps) == nEntries}
+		for _, p := range ps {
+			if p.MaxW > a.maxW {
+				a.maxW = p.MaxW
+			}
+			if p.MinW < a.minW {
+				a.minW = p.MinW
+			}
+			if p.MinW <= 0 {
+				a.covered = false
+			}
+		}
+		if !a.covered {
+			a.minW = 0
+		}
+		agg[tm] = a
+	}
+	return agg, node.MBR(), node.Count, nil
+}
+
+// updateEntryPostings replaces every posting for the given entry with the
+// child aggregate's terms.
+func updateEntryPostings(inv *invfile.File, entry int32, agg nodeAgg) {
+	rebuilt := invfile.New()
+	inv.ForEach(func(tm vocab.TermID, ps []invfile.Posting) {
+		for _, p := range ps {
+			if p.Entry != entry {
+				rebuilt.Add(tm, p)
+			}
+		}
+	})
+	for tm, a := range agg {
+		rebuilt.Add(tm, invfile.Posting{Entry: entry, MaxW: a.maxW, MinW: a.minW})
+	}
+	*inv = *rebuilt
+}
+
+// rtreeEntry carries the structural part of an entry for encoding.
+type rtreeEntry struct {
+	rect  geo.Rect
+	child int32
+}
+
+// splitNode splits an overflowing decoded node (quadratic-split seeds,
+// greedy assignment), writes both halves, and returns the new sibling's
+// id.
+func (m *mutation) splitNode(id int32, node *NodeData) (int32, error) {
+	entries := node.Entries
+	// seeds: the pair wasting the most area together
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []NodeEntry{entries[seedA]}
+	groupB := []NodeEntry{entries[seedB]}
+	rectA, rectB := entries[seedA].Rect, entries[seedB].Rect
+	minFill := len(entries) * 2 / 5
+	if minFill < 1 {
+		minFill = 1
+	}
+	var rest []NodeEntry
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		if len(groupA)+len(rest) <= minFill {
+			groupA = append(groupA, rest...)
+			break
+		}
+		if len(groupB)+len(rest) <= minFill {
+			groupB = append(groupB, rest...)
+			break
+		}
+		e := rest[0]
+		rest = rest[1:]
+		dA, dB := rectA.Enlargement(e.Rect), rectB.Enlargement(e.Rect)
+		if dA < dB || (dA == dB && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+
+	sibID := m.edit.alloc()
+	if err := m.rebuildNodeFromEntries(id, node.Leaf, groupA, node.InvID); err != nil {
+		return -1, err
+	}
+	if err := m.rebuildNodeFromEntries(sibID, node.Leaf, groupB, storage.InvalidPage); err != nil {
+		return -1, err
+	}
+	return sibID, nil
+}
+
+// rebuildNodeFromEntries recomputes a node's inverted file from scratch —
+// exact leaf weights for leaves, child aggregates (read back from the
+// store) for internal nodes — and writes it, superseding oldInv.
+func (m *mutation) rebuildNodeFromEntries(id int32, leaf bool, entries []NodeEntry, oldInv storage.PageID) error {
+	model := m.t.sh.model
+	inv := invfile.New()
+	for i, e := range entries {
+		if leaf {
+			doc := m.objects[e.Child].Doc
+			doc.ForEach(func(tm vocab.TermID, _ int32) {
+				w := model.Weight(doc, tm)
+				inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: w, MinW: w})
+			})
+			continue
+		}
+		agg, _, _, err := m.aggregateOf(e.Child)
+		if err != nil {
+			return err
+		}
+		for tm, a := range agg {
+			inv.Add(tm, invfile.Posting{Entry: int32(i), MaxW: a.maxW, MinW: a.minW})
+		}
+	}
+	m.writeNodeData(id, leaf, entries, inv, oldInv)
+	return nil
+}

@@ -15,13 +15,13 @@ import (
 // determines the tree — Restore(EncodeMeta()) answers every query
 // byte-identically to the original.
 func (t *Tree) EncodeMeta() []byte {
-	buf := storage.AppendUvarint(nil, uint64(t.kind))
-	buf = storage.AppendUvarint(buf, uint64(t.cfgFanout))
+	buf := storage.AppendUvarint(nil, uint64(t.sh.kind))
+	buf = storage.AppendUvarint(buf, uint64(t.sh.cfgFanout))
 	buf = storage.AppendUvarint(buf, uint64(t.height))
 	buf = storage.AppendUvarint(buf, uint64(t.rootID+1)) // rtree.NoNode (-1) → 0
-	buf = storage.AppendUvarint(buf, uint64(len(t.nodePages)))
-	for _, id := range t.nodePages {
-		buf = storage.AppendUvarint(buf, uint64(id+1)) // storage.InvalidPage (-1) → 0
+	buf = storage.AppendUvarint(buf, uint64(t.nodes.n))
+	for id := int32(0); int(id) < t.nodes.n; id++ {
+		buf = storage.AppendUvarint(buf, uint64(t.nodes.page(id)+1)) // storage.InvalidPage (-1) → 0
 	}
 	return buf
 }
@@ -50,13 +50,13 @@ func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, 
 		return nil, fmt.Errorf("irtree: corrupt tree metadata: implausible node count %d", numNodes)
 	}
 	totalPages := backend.NumPages()
-	nodePages := make([]storage.PageID, numNodes)
-	for i := range nodePages {
+	nodes := newNodeTable(numNodes)
+	for i := 0; i < numNodes; i++ {
 		id := storage.PageID(d.Uvarint()) - 1
 		if id >= storage.PageID(totalPages) {
 			return nil, fmt.Errorf("irtree: corrupt tree metadata: node %d at page %d beyond %d stored pages", i, id, totalPages)
 		}
-		nodePages[i] = id
+		nodes.setRaw(int32(i), id)
 	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("irtree: corrupt tree metadata: %w", err)
@@ -65,22 +65,24 @@ func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, 
 		return nil, fmt.Errorf("irtree: corrupt tree metadata: root %d with %d nodes", rootID, numNodes)
 	}
 
-	t := &Tree{
+	sh := &shared{
 		kind:      kind,
-		ds:        ds,
 		model:     model,
 		pager:     backend,
 		io:        &storage.IOCounter{},
-		nodePages: nodePages,
-		rootID:    rootID,
-		height:    height,
-		numNodes:  numNodes,
 		cfgFanout: fanout,
 	}
-	t.store = invfile.NewStore(t.pager, t.io)
+	sh.store = invfile.NewStore(sh.pager, sh.io)
 	if cacheCapacity > 0 {
-		t.cache = storage.NewBufferPool(t.pager, cacheCapacity)
+		sh.cache = storage.NewBufferPool(sh.pager, cacheCapacity)
 	}
-	t.decoded = storage.NewDecodedCache(decodedCacheBytes, 0)
-	return t, nil
+	sh.decoded = storage.NewDecodedCache(decodedCacheBytes, 0)
+	return &Tree{
+		sh:       sh,
+		ds:       ds,
+		nodes:    nodes,
+		rootID:   rootID,
+		height:   height,
+		numNodes: numNodes,
+	}, nil
 }

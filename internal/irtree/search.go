@@ -103,7 +103,7 @@ func (t *Tree) TopK(scorer *textrel.Scorer, u UserView, k int) ([]Result, float6
 		if err != nil {
 			return nil, 0, err
 		}
-		sums := MaxTextSums(t.model, inv, len(node.Entries), u.Terms)
+		sums := MaxTextSums(t.sh.model, inv, len(node.Entries), u.Terms)
 		for i, e := range node.Entries {
 			ss := scorer.SSMax(e.Rect, uRect)
 			score := scorer.Alpha*ss + (1-scorer.Alpha)*sums[i]/u.Norm

@@ -1,0 +1,109 @@
+package irtree
+
+import "repro/internal/storage"
+
+// The node table maps node ids to the record address of their current
+// serialized form. It is the only structural state a copy-on-write
+// mutation rewrites, so it is chunked: a published snapshot holds an
+// immutable directory of immutable chunks, and a mutation clones only the
+// directory plus the chunks it actually touches. At 512 entries a chunk,
+// one insert path-copies a handful of chunks no matter how large the tree
+// has grown, instead of duplicating the whole id → page array per epoch.
+const (
+	tableChunkShift = 9
+	tableChunkLen   = 1 << tableChunkShift
+)
+
+type nodeChunk [tableChunkLen]storage.PageID
+
+// nodeTable is an immutable snapshot of the node-id → record mapping.
+// Readers index it freely without synchronization; every chunk reachable
+// from a published table is never written again.
+type nodeTable struct {
+	chunks []*nodeChunk
+	n      int // allocated node ids (dead slots hold storage.InvalidPage)
+}
+
+// newNodeTable returns a private table with n allocated slots, all
+// InvalidPage. Only Build uses it; published tables come from freeze.
+func newNodeTable(n int) nodeTable {
+	chunks := make([]*nodeChunk, (n+tableChunkLen-1)/tableChunkLen)
+	for i := range chunks {
+		c := new(nodeChunk)
+		for j := range c {
+			c[j] = storage.InvalidPage
+		}
+		chunks[i] = c
+	}
+	return nodeTable{chunks: chunks, n: n}
+}
+
+// page returns the record address of node id, or InvalidPage for a dead
+// or out-of-range slot.
+func (nt nodeTable) page(id int32) storage.PageID {
+	if id < 0 || int(id) >= nt.n {
+		return storage.InvalidPage
+	}
+	return nt.chunks[id>>tableChunkShift][id&(tableChunkLen-1)]
+}
+
+// setRaw writes a slot directly. It must only run on a table no reader
+// can see: during Build, or on a tableEdit-cloned chunk.
+func (nt nodeTable) setRaw(id int32, p storage.PageID) {
+	nt.chunks[id>>tableChunkShift][id&(tableChunkLen-1)] = p
+}
+
+// tableEdit is a mutation's private, copy-on-write view of a node table.
+// The directory slice is cloned up front; chunks are cloned lazily on
+// first write. Publishing the edit is just lifting its embedded
+// nodeTable into the successor snapshot — no freeze-time copying.
+type tableEdit struct {
+	nodeTable
+	cloned map[int32]bool // chunk index → privately owned
+}
+
+// editOf starts an edit over the published table nt.
+func editOf(nt nodeTable) *tableEdit {
+	chunks := make([]*nodeChunk, len(nt.chunks))
+	copy(chunks, nt.chunks)
+	return &tableEdit{
+		nodeTable: nodeTable{chunks: chunks, n: nt.n},
+		cloned:    make(map[int32]bool),
+	}
+}
+
+// own makes chunk ci privately writable.
+func (e *tableEdit) own(ci int32) {
+	if e.cloned[ci] {
+		return
+	}
+	c := *e.chunks[ci]
+	e.chunks[ci] = &c
+	e.cloned[ci] = true
+}
+
+// set repoints node id to record p, cloning the holding chunk on first
+// touch.
+func (e *tableEdit) set(id int32, p storage.PageID) {
+	e.own(id >> tableChunkShift)
+	e.setRaw(id, p)
+}
+
+// alloc reserves a fresh node id (initially InvalidPage).
+func (e *tableEdit) alloc() int32 {
+	id := int32(e.n)
+	ci := id >> tableChunkShift
+	if int(ci) == len(e.chunks) {
+		c := new(nodeChunk)
+		for j := range c {
+			c[j] = storage.InvalidPage
+		}
+		e.chunks = append(e.chunks, c)
+		e.cloned[ci] = true
+	} else {
+		e.own(ci)
+	}
+	e.n++
+	e.setRaw(id, storage.InvalidPage)
+	return id
+}

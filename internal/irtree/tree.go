@@ -13,6 +13,7 @@ package irtree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
@@ -60,10 +61,13 @@ type Config struct {
 	DecodedCacheBytes int64
 }
 
-// Tree is a disk-resident IR-tree or MIR-tree over a dataset's objects.
-type Tree struct {
+// shared is the state every snapshot of one index has in common: the
+// append-only record store (records are never rewritten, so all epochs
+// read through the same backend), the relevance model frozen at Build
+// time, the caches, and the retirement ledger. One shared core is born at
+// Build/Restore and threaded through every successor snapshot.
+type shared struct {
 	kind  Kind
-	ds    *dataset.Dataset
 	model textrel.Model
 
 	pager   storage.Backend
@@ -72,11 +76,33 @@ type Tree struct {
 	cache   *storage.BufferPool   // nil when CacheCapacity == 0 (cold queries)
 	decoded *storage.DecodedCache // nil when DecodedCacheBytes == 0
 
-	nodePages []storage.PageID // node id → serialized node record
-	rootID    int32
-	height    int
-	numNodes  int
 	cfgFanout int
+
+	// Retirement ledger: records superseded by published mutations. The
+	// pager is append-only, so retired records are never freed — older
+	// snapshots keep reading them — but their decoded-cache entries are
+	// evicted at publish and these counters report the accumulated
+	// garbage a future compaction would reclaim.
+	retiredRecords atomic.Int64
+	retiredPages   atomic.Int64
+}
+
+// Tree is one immutable snapshot of a disk-resident IR-tree or MIR-tree
+// over a dataset's objects. A snapshot is safe for any number of
+// concurrent readers and is never modified after publication: WithInsert,
+// WithDelete and WithReplace return a successor snapshot sharing the
+// backend, caches and untouched node-table chunks with this one, leaving
+// every existing reader's view intact. Mutators require external
+// single-writer serialization (the facade's writer mutex).
+type Tree struct {
+	sh *shared
+	ds *dataset.Dataset
+
+	nodes    nodeTable // node id → serialized node record
+	rootID   int32
+	height   int
+	numNodes int
+	epoch    uint64 // publication counter: Build/Restore is 0, +1 per mutation
 }
 
 // nodeAgg is the per-term aggregate of one subtree used during bottom-up
@@ -103,25 +129,25 @@ func Build(ds *dataset.Dataset, model textrel.Model, cfg Config) *Tree {
 	}
 	rt := rtree.BulkLoad(items, fanout)
 
-	t := &Tree{
+	sh := &shared{
 		kind:      cfg.Kind,
-		ds:        ds,
 		model:     model,
 		pager:     storage.NewPager(),
 		io:        &storage.IOCounter{},
-		nodePages: make([]storage.PageID, rt.NumNodes()),
-		rootID:    rt.RootID(),
-		height:    rt.Height(),
-		numNodes:  rt.NumNodes(),
 		cfgFanout: fanout,
 	}
-	t.store = invfile.NewStore(t.pager, t.io)
+	sh.store = invfile.NewStore(sh.pager, sh.io)
 	if cfg.CacheCapacity > 0 {
-		t.cache = storage.NewBufferPool(t.pager, cfg.CacheCapacity)
+		sh.cache = storage.NewBufferPool(sh.pager, cfg.CacheCapacity)
 	}
-	t.decoded = storage.NewDecodedCache(cfg.DecodedCacheBytes, 0)
-	for i := range t.nodePages {
-		t.nodePages[i] = storage.InvalidPage
+	sh.decoded = storage.NewDecodedCache(cfg.DecodedCacheBytes, 0)
+	t := &Tree{
+		sh:       sh,
+		ds:       ds,
+		nodes:    newNodeTable(rt.NumNodes()),
+		rootID:   rt.RootID(),
+		height:   rt.Height(),
+		numNodes: rt.NumNodes(),
 	}
 	if rt.RootID() != rtree.NoNode {
 		t.buildNode(rt, rt.RootID())
@@ -146,7 +172,7 @@ func (t *Tree) buildNode(rt *rtree.Tree, id int32) (nodeAgg, int32) {
 			doc := t.ds.Objects[e.Child].Doc
 			childAgg = make(nodeAgg, doc.Unique())
 			doc.ForEach(func(tm vocab.TermID, _ int32) {
-				w := t.model.Weight(doc, tm)
+				w := t.sh.model.Weight(doc, tm)
 				childAgg[tm] = aggEntry{maxW: w, minW: w, covered: true}
 			})
 			childCount = 1
@@ -191,23 +217,23 @@ func (t *Tree) buildNode(rt *rtree.Tree, id int32) (nodeAgg, int32) {
 		agg[tm] = a
 	}
 
-	invID := t.store.Put(inv, t.kind == MIRTree)
-	t.nodePages[id] = t.pager.WriteRecord(encodeNode(n, counts, total, invID))
+	invID := t.sh.store.Put(inv, t.sh.kind == MIRTree)
+	t.nodes.setRaw(id, t.sh.pager.WriteRecord(encodeNode(n, counts, total, invID)))
 	return agg, total
 }
 
 // Kind returns the index variant.
-func (t *Tree) Kind() Kind { return t.kind }
+func (t *Tree) Kind() Kind { return t.sh.kind }
 
 // Dataset returns the indexed dataset.
 func (t *Tree) Dataset() *dataset.Dataset { return t.ds }
 
 // Model returns the relevance model whose weights are stored in the index.
-func (t *Tree) Model() textrel.Model { return t.model }
+func (t *Tree) Model() textrel.Model { return t.sh.model }
 
 // IO returns the simulated I/O counter charged by node and inverted-file
 // reads.
-func (t *Tree) IO() *storage.IOCounter { return t.io }
+func (t *Tree) IO() *storage.IOCounter { return t.sh.io }
 
 // RootID returns the root node id, or rtree.NoNode when the tree is empty.
 func (t *Tree) RootID() int32 { return t.rootID }
@@ -215,15 +241,28 @@ func (t *Tree) RootID() int32 { return t.rootID }
 // Height returns the number of tree levels.
 func (t *Tree) Height() int { return t.height }
 
-// NumNodes returns the number of nodes.
+// NumNodes returns the number of allocated node slots. After deletes
+// this may exceed the number of live nodes: dead ids keep their slot (as
+// InvalidPage) so node ids stay stable across snapshots.
 func (t *Tree) NumNodes() int { return t.numNodes }
 
+// Epoch returns the snapshot's publication counter: 0 for a freshly
+// built or restored tree, incremented once per published mutation.
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
+// RetiredStats reports the records (and the pages they span) superseded
+// by all mutations published so far — append-only garbage a compaction
+// would reclaim. Safe to call concurrently with the writer.
+func (t *Tree) RetiredStats() (records, pages int64) {
+	return t.sh.retiredRecords.Load(), t.sh.retiredPages.Load()
+}
+
 // DiskPages returns the total pages occupied by nodes and inverted files.
-func (t *Tree) DiskPages() int { return t.pager.NumPages() }
+func (t *Tree) DiskPages() int { return t.sh.pager.NumPages() }
 
 // Backend returns the record store holding the serialized nodes and
 // inverted files — the handle index persistence copies records from.
-func (t *Tree) Backend() storage.Backend { return t.pager }
+func (t *Tree) Backend() storage.Backend { return t.sh.pager }
 
 // ReadNode fetches and decodes the node with the given id, charging one
 // simulated node-visit I/O (the Section 8 rule). With a warm buffer pool
@@ -232,18 +271,18 @@ func (t *Tree) Backend() storage.Backend { return t.pager }
 // immutable *NodeData (callers must not modify it — the insert path uses
 // private uncached reads for exactly that reason).
 func (t *Tree) ReadNode(id int32) (*NodeData, error) {
-	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
+	page := t.nodes.page(id)
+	if page == storage.InvalidPage {
 		return nil, fmt.Errorf("irtree: unknown node %d", id)
 	}
-	page := t.nodePages[id]
-	if v, ok := t.decoded.Get(page); ok {
+	if v, ok := t.sh.decoded.Get(page); ok {
 		return v.(*NodeData), nil
 	}
 	node, err := t.readNodeFresh(id)
 	if err != nil {
 		return nil, err
 	}
-	t.decoded.Put(page, node, node.memBytes())
+	t.sh.decoded.Put(page, node, node.memBytes())
 	return node, nil
 }
 
@@ -251,21 +290,29 @@ func (t *Tree) ReadNode(id int32) (*NodeData, error) {
 // private *NodeData the caller may mutate. The insert path reads through
 // it so cached nodes stay immutable. Callers must have validated id.
 func (t *Tree) readNodeFresh(id int32) (*NodeData, error) {
-	if id < 0 || int(id) >= len(t.nodePages) || t.nodePages[id] == storage.InvalidPage {
+	page := t.nodes.page(id)
+	if page == storage.InvalidPage {
 		return nil, fmt.Errorf("irtree: unknown node %d", id)
 	}
-	if t.cache != nil {
-		buf, hit, err := t.cache.Read(t.nodePages[id])
+	return t.decodeNodeAt(id, page)
+}
+
+// decodeNodeAt reads and decodes the node record at page, charging one
+// simulated node-visit I/O on a buffer-pool miss. Mutations call it with
+// their private page table; readers through readNodeFresh.
+func (t *Tree) decodeNodeAt(id int32, page storage.PageID) (*NodeData, error) {
+	if t.sh.cache != nil {
+		buf, hit, err := t.sh.cache.Read(page)
 		if err != nil {
 			return nil, err
 		}
 		if !hit {
-			t.io.NodeVisit()
+			t.sh.io.NodeVisit()
 		}
 		return decodeNode(id, buf)
 	}
-	t.io.NodeVisit()
-	buf, err := t.pager.ReadRecord(t.nodePages[id])
+	t.sh.io.NodeVisit()
+	buf, err := t.sh.pager.ReadRecord(page)
 	if err != nil {
 		return nil, err
 	}
@@ -276,18 +323,18 @@ func (t *Tree) readNodeFresh(id int32) (*NodeData, error) {
 // simulated-I/O charging rule shared by every load path: one I/O per 4 kB
 // block, with buffer-pool hits charging nothing.
 func (t *Tree) readInvBytes(id storage.PageID) ([]byte, error) {
-	if t.cache != nil {
-		buf, hit, err := t.cache.Read(id)
+	if t.sh.cache != nil {
+		buf, hit, err := t.sh.cache.Read(id)
 		if err != nil {
 			return nil, err
 		}
 		if !hit {
-			t.io.InvFileLoad(t.pager.RecordPages(id))
+			t.sh.io.InvFileLoad(t.sh.pager.RecordPages(id))
 		}
 		return buf, nil
 	}
-	t.io.InvFileLoad(t.pager.RecordPages(id))
-	return t.pager.ReadRecord(id)
+	t.sh.io.InvFileLoad(t.sh.pager.RecordPages(id))
+	return t.sh.pager.ReadRecord(id)
 }
 
 // ReadInvFile loads the inverted file referenced by a node, charging one
@@ -295,14 +342,14 @@ func (t *Tree) readInvBytes(id storage.PageID) ([]byte, error) {
 // nothing). The returned file may be shared through the decoded cache and
 // must be treated as immutable; the insert path uses readInvFileFresh.
 func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
-	if v, ok := t.decoded.Get(node.InvID); ok {
+	if v, ok := t.sh.decoded.Get(node.InvID); ok {
 		return v.(*invfile.File), nil
 	}
 	f, err := t.readInvFileFresh(node)
 	if err != nil {
 		return nil, err
 	}
-	t.decoded.Put(node.InvID, f, f.MemBytes())
+	t.sh.decoded.Put(node.InvID, f, f.MemBytes())
 	return f, nil
 }
 
@@ -337,43 +384,43 @@ func (t *Tree) ReadInvSums(node *NodeData, maxTerms, minTerms []vocab.TermID) (m
 // fused byte-wise scan instead (decoding only the wanted terms), so
 // oversized nodes never pay a futile full decode per visit.
 func (t *Tree) ReadInvSumsScratch(node *NodeData, maxTerms, minTerms []vocab.TermID, scratch *invfile.SumScratch) (maxSums, minSums []float64, err error) {
-	if v, ok := t.decoded.Get(node.InvID); ok {
-		return v.(*invfile.File).SumsInto(len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
+	if v, ok := t.sh.decoded.Get(node.InvID); ok {
+		return v.(*invfile.File).SumsInto(len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
 	}
 	buf, err := t.readInvBytes(node.InvID)
 	if err != nil {
 		return nil, nil, err
 	}
-	if t.decoded.FitsBudget(invfile.MaxDecodedBytes(len(buf))) {
+	if t.sh.decoded.FitsBudget(invfile.MaxDecodedBytes(len(buf))) {
 		f, err := invfile.Decode(buf)
 		if err != nil {
 			return nil, nil, err
 		}
-		t.decoded.Put(node.InvID, f, f.MemBytes())
-		return f.SumsInto(len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
+		t.sh.decoded.Put(node.InvID, f, f.MemBytes())
+		return f.SumsInto(len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
 	}
-	return invfile.DecodeSumsInto(buf, len(node.Entries), maxTerms, minTerms, t.model.FloorWeight, scratch)
+	return invfile.DecodeSumsInto(buf, len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
 }
 
 // ResetCache drops all buffered pages and decoded objects — a cold-query
 // boundary. No-op when no cache is configured.
 func (t *Tree) ResetCache() {
-	if t.cache != nil {
-		t.cache.Reset()
+	if t.sh.cache != nil {
+		t.sh.cache.Reset()
 	}
-	t.decoded.Reset()
+	t.sh.decoded.Reset()
 }
 
 // CacheStats returns buffer-pool hits and misses (zeros when cold).
 func (t *Tree) CacheStats() (hits, misses int64) {
-	if t.cache == nil {
+	if t.sh.cache == nil {
 		return 0, 0
 	}
-	return t.cache.Stats()
+	return t.sh.cache.Stats()
 }
 
 // DecodedCacheStats returns the decoded-object cache counters (zeros when
 // no decoded cache is configured).
 func (t *Tree) DecodedCacheStats() storage.DecodedCacheStats {
-	return t.decoded.Stats()
+	return t.sh.decoded.Stats()
 }

@@ -7,6 +7,12 @@
 //
 // Like the object index, nodes are serialized into a 4 kB pager and every
 // read charges one simulated node-visit I/O.
+//
+// A built tree is immutable and session-local: it is batch-built over a
+// session's user cohort, never mutated, and therefore composes with the
+// index's epoch-snapshot model as-is — a session that pins an object-tree
+// snapshot keeps its MIUR-tree for all of its runs, and concurrent
+// readers share it without locks.
 package miurtree
 
 import (

@@ -34,8 +34,10 @@ import (
 
 // masterVersion is the encoding version of the master record, separate
 // from the file-level storage.FormatVersion: the file format governs the
-// pager layout, this governs the index payload.
-const masterVersion = 1
+// pager layout, this governs the index payload. Version 2 appends the
+// deleted-object id list; version 1 files (no deletions possible when
+// they were written) are still accepted.
+const masterVersion = 2
 
 // Index is the persistable state of one built index: the measure
 // parameters the facade's Options carry, the dataset, and the object
@@ -50,6 +52,11 @@ type Index struct {
 
 	DS   *dataset.Dataset
 	Tree *irtree.Tree
+
+	// Deleted lists the dead object ids (ascending): slots still present
+	// in DS.Objects — the tree's id space is append-only — but no longer
+	// reachable from the tree. Nil when nothing was deleted.
+	Deleted []int32
 
 	closer   *storage.FilePager // set for loaded indexes
 	treeMeta []byte             // decoded master → Restore handoff
@@ -210,6 +217,14 @@ func encodeMaster(ix *Index) []byte {
 	meta := ix.Tree.EncodeMeta()
 	buf = storage.AppendUvarint(buf, uint64(len(meta)))
 	buf = append(buf, meta...)
+
+	// Version 2: the deleted-id list (ascending, delta-encoded).
+	buf = storage.AppendUvarint(buf, uint64(len(ix.Deleted)))
+	prev := int32(0)
+	for _, id := range ix.Deleted {
+		buf = storage.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
 	return buf
 }
 
@@ -227,9 +242,10 @@ func loadFrom(fp *storage.FilePager) (*Index, error) {
 
 func decodeMaster(buf []byte) (*Index, error) {
 	d := storage.NewDecoder(buf)
-	if v := d.Uvarint(); d.Err() == nil && v != masterVersion {
-		return nil, fmt.Errorf("%w: master record version %d, this build reads %d",
-			storage.ErrVersionMismatch, v, masterVersion)
+	version := d.Uvarint()
+	if d.Err() == nil && (version < 1 || version > masterVersion) {
+		return nil, fmt.Errorf("%w: master record version %d, this build reads up to %d",
+			storage.ErrVersionMismatch, version, masterVersion)
 	}
 	ix := &Index{
 		Measure:       textrel.MeasureKind(d.Uvarint()),
@@ -292,6 +308,27 @@ func decodeMaster(buf []byte) (*Index, error) {
 
 	metaLen := d.Uvarint()
 	meta := d.Bytes(int(metaLen))
+
+	// Version 1 predates deletion support, so its deleted list is empty.
+	if version >= 2 {
+		numDeleted := d.Uvarint()
+		if d.Err() == nil && numDeleted > numObjects {
+			return nil, fmt.Errorf("corrupt master record: %d deleted ids for %d objects", numDeleted, numObjects)
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < numDeleted && d.Err() == nil; i++ {
+			delta := d.Uvarint()
+			if i > 0 && delta == 0 {
+				return nil, fmt.Errorf("corrupt master record: duplicate deleted id %d", prev)
+			}
+			id := prev + delta
+			if id >= numObjects {
+				return nil, fmt.Errorf("corrupt master record: deleted id %d beyond %d objects", id, numObjects)
+			}
+			ix.Deleted = append(ix.Deleted, int32(id))
+			prev = id
+		}
+	}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("corrupt master record: %w", err)
 	}

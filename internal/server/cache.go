@@ -40,12 +40,16 @@ func newSessionCache(capacity int) *sessionCache {
 	}
 }
 
-// sessionKey digests a user set and k into a fixed-size key: the
-// canonical encoding — exact coordinate bit patterns, length-prefixed
-// keywords, length-prefixed user records — is injective, and hashing it
-// keeps keys O(1) no matter how large the cohort (a near-body-limit
-// request must not pin megabytes of key string in the LRU).
-func sessionKey(users []maxbrstknn.UserSpec, k int) string {
+// sessionKey digests an index epoch, a user set and k into a fixed-size
+// key: the canonical encoding — exact coordinate bit patterns,
+// length-prefixed keywords, length-prefixed user records — is injective,
+// and hashing it keeps keys O(1) no matter how large the cohort (a
+// near-body-limit request must not pin megabytes of key string in the
+// LRU). The epoch is part of the key because a Session pins the snapshot
+// it was built on: after a mutation publishes a new epoch, cached
+// sessions for older epochs must not serve new requests (they age out of
+// the LRU instead).
+func sessionKey(epoch uint64, users []maxbrstknn.UserSpec, k int) string {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(v int) {
@@ -56,6 +60,7 @@ func sessionKey(users []maxbrstknn.UserSpec, k int) string {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		h.Write(buf[:])
 	}
+	writeInt(int(epoch))
 	writeInt(k)
 	writeInt(len(users))
 	for _, u := range users {

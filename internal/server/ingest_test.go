@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func decodeMutation(t *testing.T, body []byte) MutationResponse {
+	t.Helper()
+	var m MutationResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("mutation response %s: %v", body, err)
+	}
+	return m
+}
+
+// The mutation endpoints must publish epochs, make new objects queryable,
+// map missing ids to 404, and report ingest state in /stats.
+func TestMutationEndpoints(t *testing.T) {
+	idx, _ := fixture(t)
+	srv := New(idx, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/add", AddRequest{X: 3.3, Y: 3.3, Keywords: []string{"zebra"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/add: status %d: %s", resp.StatusCode, body)
+	}
+	added := decodeMutation(t, body)
+	if added.Epoch != 1 || added.LiveObjects != 121 {
+		t.Fatalf("/add response %+v, want epoch 1 with 121 live objects", added)
+	}
+
+	// The fresh keyword must be reachable through a one-shot query.
+	resp, body = postJSON(t, ts, "/topk", TopKRequest{X: 3.3, Y: 3.3, Keywords: []string{"zebra"}, K: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/topk: status %d: %s", resp.StatusCode, body)
+	}
+	var topk struct {
+		Results []RankedPayload `json:"results"`
+	}
+	if err := json.Unmarshal(body, &topk); err != nil {
+		t.Fatal(err)
+	}
+	if len(topk.Results) != 1 || topk.Results[0].ObjectID != added.ID {
+		t.Fatalf("/topk for the added keyword returned %+v, want object %d", topk.Results, added.ID)
+	}
+
+	resp, body = postJSON(t, ts, "/update", UpdateRequest{ID: added.ID, X: 4.4, Y: 4.4, Keywords: []string{"zebra"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/update: status %d: %s", resp.StatusCode, body)
+	}
+	updated := decodeMutation(t, body)
+	if updated.ID == added.ID || updated.Epoch != 2 || updated.LiveObjects != 121 {
+		t.Fatalf("/update response %+v, want a fresh id at epoch 2 with 121 live objects", updated)
+	}
+
+	resp, body = postJSON(t, ts, "/delete", DeleteRequest{ID: updated.ID})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/delete: status %d: %s", resp.StatusCode, body)
+	}
+	if del := decodeMutation(t, body); del.Epoch != 3 || del.LiveObjects != 120 {
+		t.Fatalf("/delete response %+v, want epoch 3 with 120 live objects", del)
+	}
+
+	// Dead or never-assigned ids are the client's mistake: 404.
+	for _, id := range []int{added.ID, updated.ID, 99999} {
+		if resp, body = postJSON(t, ts, "/delete", DeleteRequest{ID: id}); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/delete id %d: status %d (%s), want 404", id, resp.StatusCode, body)
+		}
+		if resp, body = postJSON(t, ts, "/update", UpdateRequest{ID: id, X: 1, Y: 1}); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("/update id %d: status %d (%s), want 404", id, resp.StatusCode, body)
+		}
+	}
+
+	resp, body = postJSON(t, ts, "/topk", TopKRequest{X: 3.3, Y: 3.3, Keywords: []string{"zebra"}, K: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("topk after delete failed")
+	}
+	if err := json.Unmarshal(body, &topk); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range topk.Results {
+		if r.ObjectID == added.ID || r.ObjectID == updated.ID {
+			t.Fatalf("deleted object %d still served by /topk", r.ObjectID)
+		}
+	}
+
+	res, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsPayload
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if stats.Ingest.Epoch != 3 || stats.Ingest.LiveObjects != 120 || stats.Ingest.TotalObjects != 122 {
+		t.Fatalf("/stats ingest %+v, want epoch 3, 120 live of 122 allocated", stats.Ingest)
+	}
+	if stats.Ingest.RetiredRecords == 0 || stats.Ingest.RetiredPages == 0 {
+		t.Fatalf("/stats ingest %+v, want nonzero retired counters after mutations", stats.Ingest)
+	}
+}
+
+// Queries racing mutations must all succeed: writers never block readers,
+// and every reader sees some fully published epoch.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	idx, wire := fixture(t)
+	wire.Strategy = "exact"
+	srv := New(idx, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const writers, readers, perG = 4, 8, 12
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, body := postJSON(t, ts, "/add",
+					AddRequest{X: float64(g), Y: float64(i), Keywords: []string{fmt.Sprintf("w%d", g)}})
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("/add: status %d: %s", resp.StatusCode, body)
+					return
+				}
+				m := decodeMutation(t, body)
+				if i%3 == 2 {
+					if resp, body := postJSON(t, ts, "/delete", DeleteRequest{ID: m.ID}); resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("/delete: status %d: %s", resp.StatusCode, body)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var resp *http.Response
+				var body []byte
+				if g%2 == 0 {
+					resp, body = postJSON(t, ts, "/maxbrstknn", wire)
+				} else {
+					resp, body = postJSON(t, ts, "/topk", TopKRequest{X: 5, Y: 5, Keywords: []string{"a", "b"}, K: 3})
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query: status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := idx.IngestStats()
+	if st.Epoch == 0 || st.LiveObjects != 120+writers*perG-writers*(perG/3) {
+		t.Fatalf("final ingest state %+v", st)
+	}
+}

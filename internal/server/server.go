@@ -114,6 +114,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /topl", s.limited(s.handleTopL))
 	mux.Handle("POST /multiple", s.limited(s.handleMultiple))
 	mux.Handle("POST /topk", s.limited(s.handleTopK))
+	mux.Handle("POST /add", s.limited(s.handleAdd))
+	mux.Handle("POST /delete", s.limited(s.handleDelete))
+	mux.Handle("POST /update", s.limited(s.handleUpdate))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	timeoutBody, _ := json.Marshal(map[string]string{"error": "request timed out"})
@@ -161,9 +164,12 @@ func (s *Server) limited(h http.HandlerFunc) http.Handler {
 // building (and caching) it on first sight. The request's ParallelOptions
 // configure the build's joint top-k phase on a miss; the prepared
 // thresholds are identical for every setting, so cache hits across
-// differently-parallel requests are sound.
+// differently-parallel requests are sound. The cache key carries the
+// current epoch, so sessions prepared before a mutation are never reused
+// afterwards — each request's session reflects the snapshot current when
+// its cohort was first seen at that epoch.
 func (s *Server) session(req maxbrstknn.Request) (*maxbrstknn.Session, error) {
-	key := sessionKey(req.Users, req.K)
+	key := sessionKey(s.ix.Epoch(), req.Users, req.K)
 	return s.sessions.get(key, func() (*maxbrstknn.Session, error) {
 		return s.ix.NewParallelSession(req.Users, req.K, req.Parallel)
 	})
@@ -249,6 +255,73 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, func() ([]byte, error) { return TopKJSON(res) })
 }
 
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var wire AddRequest
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.ix.AddObject(wire.X, wire.Y, wire.Keywords...)
+	if err != nil {
+		writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.writeMutation(w, id)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var wire DeleteRequest
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.ix.DeleteObject(wire.ID); err != nil {
+		writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.writeMutation(w, wire.ID)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var wire UpdateRequest
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.ix.UpdateObject(wire.ID, wire.X, wire.Y, wire.Keywords...)
+	if err != nil {
+		writeError(w, mutationErrorStatus(err), err)
+		return
+	}
+	s.writeMutation(w, id)
+}
+
+// writeMutation reports a successful mutation: the object id it touched
+// (for /add and /update, the id the caller queries by afterwards) and
+// the state of the index after it. Epoch and live count come from one
+// snapshot load, so they are mutually consistent — though with other
+// writers running they may describe a later epoch than this mutation's.
+func (s *Server) writeMutation(w http.ResponseWriter, id int) {
+	st := s.ix.IngestStats()
+	writeJSON(w, func() ([]byte, error) {
+		return appendNewline(json.Marshal(MutationResponse{
+			ID:          id,
+			Epoch:       st.Epoch,
+			LiveObjects: st.LiveObjects,
+		}))
+	})
+}
+
+// mutationErrorStatus classifies an error from the ingestion path:
+// a missing object id is the client's mistake (404), storage faults are
+// server errors, everything else is request validation (400).
+func mutationErrorStatus(err error) int {
+	if errors.Is(err, maxbrstknn.ErrNoSuchObject) {
+		return http.StatusNotFound
+	}
+	return queryErrorStatus(err)
+}
+
 // StatsPayload is the /stats response body.
 type StatsPayload struct {
 	Objects         int   `json:"objects"`
@@ -274,6 +347,18 @@ type StatsPayload struct {
 		Misses  int64   `json:"misses"`
 		HitRate float64 `json:"hit_rate"`
 	} `json:"session_cache"`
+	// Ingest reports the copy-on-write ingestion machinery: the current
+	// epoch (one increment per published mutation), live vs allocated
+	// object ids, and the append-only store records superseded by
+	// mutations (kept for older snapshots; a compacting rebuild reclaims
+	// them).
+	Ingest struct {
+		Epoch          uint64 `json:"epoch"`
+		LiveObjects    int    `json:"live_objects"`
+		TotalObjects   int    `json:"total_objects"`
+		RetiredRecords int64  `json:"retired_records"`
+		RetiredPages   int64  `json:"retired_pages"`
+	} `json:"ingest"`
 	InFlight      int64   `json:"in_flight"`
 	MaxInFlight   int     `json:"max_in_flight"`
 	ServedQueries int64   `json:"served_queries"`
@@ -294,6 +379,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if total := cs.DecodedHits + cs.DecodedMisses; total > 0 {
 		p.DecodedCache.HitRate = float64(cs.DecodedHits) / float64(total)
 	}
+	ing := s.ix.IngestStats()
+	p.Ingest.Epoch = ing.Epoch
+	p.Ingest.LiveObjects, p.Ingest.TotalObjects = ing.LiveObjects, ing.TotalObjects
+	p.Ingest.RetiredRecords, p.Ingest.RetiredPages = ing.RetiredRecords, ing.RetiredPages
 	size, hits, misses := s.sessions.stats()
 	p.SessionCache.Size, p.SessionCache.Hits, p.SessionCache.Misses = size, hits, misses
 	if total := hits + misses; total > 0 {

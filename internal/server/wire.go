@@ -10,8 +10,16 @@
 //	POST /topl        — the ranked top-L candidate locations
 //	POST /multiple    — m greedy placements covering distinct users
 //	POST /topk        — one user's top-k objects
-//	GET  /stats       — I/O ledger, buffer pool, session cache, in-flight
+//	POST /add         — insert one object into the live index
+//	POST /delete      — remove one object by id
+//	POST /update      — replace one object (new id, one atomic epoch)
+//	GET  /stats       — I/O ledger, buffer pool, session cache, ingest
+//	                    epoch, in-flight
 //	GET  /healthz     — liveness probe
+//
+// Mutations publish copy-on-write snapshots, so concurrent queries never
+// block on them: a query in flight during an /add finishes on the epoch
+// it started on, and the next request observes the new epoch.
 //
 // Sessions — the prepared per-user-set joint top-k state — are cached in
 // an LRU keyed by (user set, k), so repeated queries from the same user
@@ -56,6 +64,36 @@ type QueryRequest struct {
 	L int `json:"l,omitempty"`
 	// M is the number of placements for /multiple (default 1).
 	M int `json:"m,omitempty"`
+}
+
+// AddRequest is the body of /add.
+type AddRequest struct {
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// DeleteRequest is the body of /delete.
+type DeleteRequest struct {
+	ID int `json:"id"`
+}
+
+// UpdateRequest is the body of /update.
+type UpdateRequest struct {
+	ID       int      `json:"id"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// MutationResponse is the body every mutation endpoint answers with: the
+// object id the mutation concerns (the inserted id for /add, the
+// replacement's fresh id for /update, the removed id for /delete) and
+// the index state after publication.
+type MutationResponse struct {
+	ID          int    `json:"id"`
+	Epoch       uint64 `json:"epoch"`
+	LiveObjects int    `json:"live_objects"`
 }
 
 // TopKRequest is the body of /topk.

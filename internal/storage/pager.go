@@ -10,7 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"sync/atomic"
 )
 
 // PageSize is the fixed disk page size of the experimental setup (4 kB).
@@ -26,30 +26,46 @@ const InvalidPage PageID = -1
 // larger than one page span consecutive pages; the pager tracks each
 // record's byte length so reads return exactly what was written.
 //
-// Concurrency: ReadRecord, RecordPages, NumPages and Records never mutate
-// state, so any number of goroutines may call them concurrently — the
-// parallel query engine does exactly that during shared traversals.
-// WriteRecord requires exclusive access (no concurrent reads or writes);
-// construction and incremental inserts are single-writer operations.
+// Concurrency: single writer, any number of lock-free readers. All state
+// lives behind one atomically-published pagerState; WriteRecord builds the
+// successor state and installs it with a release store, so a reader that
+// observes a PageID (through a published tree snapshot) is guaranteed to
+// observe the pages behind it. Readers never block on the writer and the
+// writer never waits for readers — the invariant the copy-on-write index
+// snapshots are built on. WriteRecord itself requires external
+// single-writer serialization (the facade's writer mutex provides it).
 type Pager struct {
-	pages   [][]byte
-	lengths map[PageID]int // record byte length, keyed by first page
+	state atomic.Pointer[pagerState]
+}
+
+// pagerState is one immutable publication of the pager's contents. The
+// slices grow append-only: a successor state may share the same backing
+// arrays with more elements, but elements below any previously published
+// length are never rewritten, so readers indexing within their acquired
+// state's length never observe a torn or reused entry.
+type pagerState struct {
+	pages  [][]byte
+	recLen []int64 // parallel to pages: record byte length at its first page, else -1
 }
 
 // NewPager returns an empty in-memory pager.
 func NewPager() *Pager {
-	return &Pager{lengths: make(map[PageID]int)}
+	p := &Pager{}
+	p.state.Store(&pagerState{})
+	return p
 }
 
 // WriteRecord appends data as a new record and returns its PageID. The
 // record occupies ⌈len(data)/PageSize⌉ pages (at least one, so that empty
 // records still have an address).
 func (p *Pager) WriteRecord(data []byte) PageID {
-	id := PageID(len(p.pages))
+	st := p.state.Load()
+	id := PageID(len(st.pages))
 	n := (len(data) + PageSize - 1) / PageSize
 	if n == 0 {
 		n = 1
 	}
+	pages, recLen := st.pages, st.recLen
 	for i := 0; i < n; i++ {
 		page := make([]byte, PageSize)
 		lo := i * PageSize
@@ -60,22 +76,28 @@ func (p *Pager) WriteRecord(data []byte) PageID {
 		if lo < len(data) {
 			copy(page, data[lo:hi])
 		}
-		p.pages = append(p.pages, page)
+		pages = append(pages, page)
+		if i == 0 {
+			recLen = append(recLen, int64(len(data)))
+		} else {
+			recLen = append(recLen, -1)
+		}
 	}
-	p.lengths[id] = len(data)
+	p.state.Store(&pagerState{pages: pages, recLen: recLen})
 	return id
 }
 
 // ReadRecord returns the record starting at id. The returned slice is a
 // copy; callers may retain it.
 func (p *Pager) ReadRecord(id PageID) ([]byte, error) {
-	length, ok := p.lengths[id]
-	if !ok {
+	st := p.state.Load()
+	if id < 0 || int(id) >= len(st.pages) || st.recLen[id] < 0 {
 		return nil, fmt.Errorf("storage: no record at page %d", id)
 	}
+	length := int(st.recLen[id])
 	out := make([]byte, length)
 	for off := 0; off < length; off += PageSize {
-		page := p.pages[int(id)+off/PageSize]
+		page := st.pages[int(id)+off/PageSize]
 		copy(out[off:], page)
 	}
 	return out, nil
@@ -84,11 +106,11 @@ func (p *Pager) ReadRecord(id PageID) ([]byte, error) {
 // RecordPages returns the number of pages the record at id occupies —
 // the block count the simulated I/O rule charges for loading it.
 func (p *Pager) RecordPages(id PageID) int {
-	length, ok := p.lengths[id]
-	if !ok {
+	st := p.state.Load()
+	if id < 0 || int(id) >= len(st.pages) || st.recLen[id] < 0 {
 		return 0
 	}
-	n := (length + PageSize - 1) / PageSize
+	n := (int(st.recLen[id]) + PageSize - 1) / PageSize
 	if n == 0 {
 		n = 1
 	}
@@ -96,15 +118,17 @@ func (p *Pager) RecordPages(id PageID) int {
 }
 
 // NumPages returns the total number of allocated pages.
-func (p *Pager) NumPages() int { return len(p.pages) }
+func (p *Pager) NumPages() int { return len(p.state.Load().pages) }
 
 // Records returns all record addresses in ascending (append) order.
 func (p *Pager) Records() []PageID {
-	out := make([]PageID, 0, len(p.lengths))
-	for id := range p.lengths {
-		out = append(out, id)
+	st := p.state.Load()
+	out := make([]PageID, 0, len(st.recLen))
+	for id, l := range st.recLen {
+		if l >= 0 {
+			out = append(out, PageID(id))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

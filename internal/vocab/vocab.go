@@ -29,9 +29,21 @@ func (t TermID) IsUnknown() bool { return t < 0 }
 
 // Vocabulary assigns dense TermIDs to terms. The zero value is not usable;
 // construct with New.
+//
+// A Vocabulary is a single-writer structure: Add and Truncate require
+// exclusive access. Concurrent readers never touch it directly — they go
+// through an immutable View captured at a publication point (see View).
 type Vocabulary struct {
 	byTerm map[string]TermID
 	terms  []string
+
+	// base is an immutable clone of byTerm covering ids [0, baseLen),
+	// shared by every View handed out since it was built. It is replaced
+	// (never mutated) when the overlay of newer terms grows past
+	// viewOverlayMax, so per-publication View cost stays O(new terms)
+	// with an amortized O(size) rebuild.
+	base    map[string]TermID
+	baseLen int
 }
 
 // New returns an empty Vocabulary.
@@ -76,6 +88,91 @@ func (v *Vocabulary) Term(id TermID) string {
 
 // Size returns the number of distinct terms.
 func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// Truncate discards every term with id ≥ n, rolling the vocabulary back
+// to a prior size. It is the writer's all-or-nothing escape hatch: a
+// mutation that registered new terms and then failed before publishing
+// restores the vocabulary exactly, so no half-applied growth is ever
+// observable. n must not cut below the oldest live View's fence — the
+// facade only ever truncates to the size captured at the start of the
+// current (failed) mutation, which is at or above every published fence.
+func (v *Vocabulary) Truncate(n int) {
+	if n < 0 || n > len(v.terms) {
+		panic(fmt.Sprintf("vocab: truncate to %d outside [0, %d]", n, len(v.terms)))
+	}
+	if n < v.baseLen {
+		panic(fmt.Sprintf("vocab: truncate to %d below published fence %d", n, v.baseLen))
+	}
+	for _, t := range v.terms[n:] {
+		delete(v.byTerm, t)
+	}
+	v.terms = v.terms[:n]
+}
+
+// viewOverlayMax bounds how many post-base terms a View carries in its
+// private overlay map before View rebuilds the shared base. Small enough
+// that per-publication overlay copying is cheap, large enough that the
+// O(size) base rebuild is rare under sustained ingestion.
+const viewOverlayMax = 64
+
+// View captures an immutable snapshot of the vocabulary: ids [0, Size())
+// at the moment of the call. Views are value types safe for concurrent
+// use by any number of readers while the writer keeps Adding — reader
+// lookups resolve against the view's fenced term slice and maps, never
+// against the live byTerm map. Call View only from the writer, at a
+// publication point (after a mutation commits).
+func (v *Vocabulary) View() View {
+	if v.base == nil || len(v.terms)-v.baseLen > viewOverlayMax {
+		base := make(map[string]TermID, len(v.byTerm))
+		for t, id := range v.byTerm {
+			base[t] = id
+		}
+		v.base = base
+		v.baseLen = len(v.terms)
+	}
+	var over map[string]TermID
+	if n := len(v.terms) - v.baseLen; n > 0 {
+		over = make(map[string]TermID, n)
+		for i, t := range v.terms[v.baseLen:] {
+			over[t] = TermID(v.baseLen + i)
+		}
+	}
+	return View{terms: v.terms[:len(v.terms):len(v.terms)], base: v.base, over: over}
+}
+
+// View is a fenced, immutable snapshot of a Vocabulary. The zero value is
+// an empty vocabulary. All methods are safe for concurrent use; a View
+// never observes terms added after it was captured, so scoring against it
+// is stable no matter how much the writer grows the live vocabulary.
+type View struct {
+	terms []string          // ids [0, len(terms)) are visible
+	base  map[string]TermID // shared immutable map, ids [0, baseLen)
+	over  map[string]TermID // per-view overlay, ids [baseLen, len(terms))
+}
+
+// Size returns the number of terms visible in the snapshot.
+func (v View) Size() int { return len(v.terms) }
+
+// Lookup returns the TermID for term and whether it is within the
+// snapshot's fence.
+func (v View) Lookup(term string) (TermID, bool) {
+	if id, ok := v.over[term]; ok {
+		return id, true
+	}
+	id, ok := v.base[term]
+	if !ok || int(id) >= len(v.terms) {
+		return 0, false
+	}
+	return id, true
+}
+
+// Term returns the string for id. It panics on an id outside the fence.
+func (v View) Term(id TermID) string {
+	if int(id) < 0 || int(id) >= len(v.terms) {
+		panic(fmt.Sprintf("vocab: unknown term id %d", id))
+	}
+	return v.terms[id]
+}
 
 // Doc is a bag of terms: sorted unique TermIDs with positive frequencies.
 // The zero value is the empty document.

@@ -65,9 +65,12 @@
 package maxbrstknn
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
@@ -228,14 +231,33 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 		return nil, err
 	}
 	objects := append([]dataset.Object(nil), b.objects...)
-	ds := dataset.Build(objects, b.vocab)
+	// The index owns a private vocabulary copy (identical ids), so the
+	// Builder can keep growing its own without racing the index's
+	// lock-free readers.
+	v := vocab.New()
+	for id := vocab.TermID(0); int(id) < b.vocab.Size(); id++ {
+		v.Add(b.vocab.Term(id))
+	}
+	ds := dataset.Build(objects, v)
 	model := opts.newModel(ds)
 	mir := irtree.Build(ds, model, irtree.Config{
 		Kind:              irtree.MIRTree,
 		Fanout:            opts.fanout(),
 		DecodedCacheBytes: opts.decodedCacheBytes(),
 	})
-	return &Index{ds: ds, opts: opts, model: model, mir: mir}, nil
+	return newIndex(opts, model, mir, nil, 0, nil), nil
+}
+
+// newIndex assembles an Index around its first snapshot. deleted/live
+// describe objects already dead in the tree (a loaded index); a nil
+// bitmap means every object is live.
+func newIndex(opts Options, model textrel.Model, mir *irtree.Tree, deleted []uint64, live int, closer io.Closer) *Index {
+	if deleted == nil {
+		live = len(mir.Dataset().Objects)
+	}
+	ix := &Index{opts: opts, model: model, wvocab: mir.Dataset().Vocab, closer: closer}
+	ix.snap.Store(&snapshot{tree: mir, vocab: ix.wvocab.View(), live: live, del: deleted})
+	return ix
 }
 
 // Index is a spatial-textual object index that answers top-k and
@@ -245,80 +267,292 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 //
 // # Concurrency
 //
-// An Index is safe for concurrent use. Any number of goroutines may run
-// queries (TopK, MaxBRSTkNN, NewSession and the Session methods) against
-// one Index — in-memory or loaded — at the same time; query paths only
-// read the tree and share atomic I/O counters. AddObject is the single
-// mutating operation: it takes the index's write lock, so it is safe to
-// call concurrently with queries but serializes against them — each
-// locked operation observes a structurally consistent tree, either
-// before or after the insert, never mid-split. Note the granularity:
-// the unit of consistency is one locked operation, so a multi-step query
-// (MaxBRSTkNN is session preparation plus a run; a Session outlives its
-// preparation) may span an insert, combining pre-insert thresholds with
-// a post-insert traversal. For answers that reflect a set of inserts,
-// create the session (or run the one-shot query) after they complete.
-// Save takes the read lock and may likewise run concurrently with
-// queries.
+// An Index is safe for concurrent use, and queries never block on
+// writers. All reader-visible state lives in an immutable snapshot
+// published through one atomic pointer: every operation (TopK,
+// MaxBRSTkNN, NewSession, Save, the stats accessors) loads the pointer
+// once and works against that frozen epoch — tree, vocabulary view,
+// corpus statistics — without taking any lock. The mutating operations
+// (AddObject, DeleteObject, UpdateObject) serialize against each other
+// on a writer mutex, prepare a successor snapshot copy-on-write off to
+// the side (modified tree nodes are appended to the store, never
+// rewritten), and install it with a single atomic swap. A query that
+// started before the swap simply finishes on the epoch it pinned.
+//
+// The unit of consistency is one snapshot load: a one-shot query sees
+// exactly one epoch end to end, and a Session pins the epoch it was
+// created on for all of its runs (see the Session godoc). For answers
+// that reflect a set of mutations, create the session (or run the
+// one-shot query) after they complete.
 type Index struct {
-	ds    *dataset.Dataset
 	opts  Options
 	model textrel.Model
-	mir   *irtree.Tree
 
-	// mu guards the tree and vocabulary against AddObject: inserts
-	// re-point nodes, grow the pager, and extend the vocabulary, none of
-	// which the read paths tolerate mid-flight. Queries hold the read
-	// lock; AddObject holds the write lock.
-	mu sync.RWMutex
+	// snap is the atomically-published current snapshot. Readers Load it
+	// exactly once per operation; writers Store a successor under
+	// writerMu.
+	snap atomic.Pointer[snapshot]
+
+	// writerMu serializes the mutating operations (and Save, which walks
+	// the live vocabulary the writer grows). Readers never touch it.
+	writerMu sync.Mutex
+
+	// wvocab is the writer's handle on the live vocabulary. Readers use
+	// the fenced View captured in each snapshot instead.
+	wvocab *vocab.Vocabulary
 
 	// closer releases the index file backing a loaded index; nil for
 	// in-memory indexes.
 	closer io.Closer
 }
 
-// scorerFor builds a scorer whose dmax covers the given extra rectangles.
-func (ix *Index) scorerFor(extra ...geo.Rect) *textrel.Scorer {
-	return &textrel.Scorer{Model: ix.model, Alpha: ix.opts.alpha(), DMax: ix.ds.DMax(extra...)}
+// snapshot is one immutable publication of the index: a tree epoch, the
+// vocabulary view fenced at that epoch, and the live-object bookkeeping.
+// Everything reachable from a snapshot is safe for concurrent readers
+// and never mutated after publication.
+type snapshot struct {
+	tree  *irtree.Tree
+	vocab vocab.View
+	live  int      // objects present in the tree
+	del   []uint64 // bitmap over object ids; nil when nothing was deleted
 }
 
-// NumObjects returns the number of indexed objects.
+// isDeleted reports whether object id holds a dead dataset slot.
+func (sn *snapshot) isDeleted(id int32) bool {
+	w := int(id) >> 6
+	return w < len(sn.del) && sn.del[w]>>(uint(id)&63)&1 == 1
+}
+
+// deletedIDs returns the dead object ids in ascending order (nil when
+// nothing was deleted) — the persistence wire form of the bitmap.
+func (sn *snapshot) deletedIDs() []int32 {
+	var ids []int32
+	for w, word := range sn.del {
+		for word != 0 {
+			ids = append(ids, int32(w<<6)+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return ids
+}
+
+// deletedBitmap rebuilds the bitmap form of an ascending deleted-id list
+// (nil for an empty list).
+func deletedBitmap(ids []int32) []uint64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	bm := make([]uint64, int(ids[len(ids)-1])>>6+1)
+	for _, id := range ids {
+		bm[id>>6] |= 1 << (uint(id) & 63)
+	}
+	return bm
+}
+
+// withDeleted returns a copy of the deleted bitmap with id set.
+func (sn *snapshot) withDeleted(id int32) []uint64 {
+	w := int(id) >> 6
+	n := len(sn.del)
+	if w+1 > n {
+		n = w + 1
+	}
+	nd := make([]uint64, n)
+	copy(nd, sn.del)
+	nd[w] |= 1 << (uint(id) & 63)
+	return nd
+}
+
+// ErrNoSuchObject is returned (wrapped) by DeleteObject and UpdateObject
+// for an id that was never assigned or is already deleted.
+var ErrNoSuchObject = errors.New("maxbrstknn: no such object")
+
+// scorerFor builds a scorer whose dmax covers the given extra rectangles.
+func (ix *Index) scorerFor(sn *snapshot, extra ...geo.Rect) *textrel.Scorer {
+	return &textrel.Scorer{Model: ix.model, Alpha: ix.opts.alpha(), DMax: sn.tree.Dataset().DMax(extra...)}
+}
+
+// NumObjects returns the number of live indexed objects (deleted objects
+// keep their id but no longer count).
 func (ix *Index) NumObjects() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.ds.Objects)
+	return ix.snap.Load().live
+}
+
+// Epoch returns the index's publication counter: 0 for a freshly built
+// or loaded index, incremented once per published mutation (UpdateObject
+// counts as one). It identifies the snapshot concurrent queries observe.
+func (ix *Index) Epoch() uint64 {
+	return ix.snap.Load().tree.Epoch()
+}
+
+// IngestStats reports the state of the ingestion machinery at the
+// current snapshot.
+type IngestStats struct {
+	// Epoch is the snapshot's publication counter (see Index.Epoch).
+	Epoch uint64
+	// LiveObjects and TotalObjects count the objects in the tree and the
+	// allocated ids (live + deleted slots).
+	LiveObjects, TotalObjects int
+	// RetiredRecords and RetiredPages count the append-only store
+	// records (and the 4 kB pages they span) superseded by published
+	// mutations — garbage a Compact would reclaim, kept because older
+	// snapshots may still be reading it.
+	RetiredRecords, RetiredPages int64
+}
+
+// IngestStats reports epoch, live/total objects and retired-record
+// counters for the current snapshot.
+func (ix *Index) IngestStats() IngestStats {
+	sn := ix.snap.Load()
+	records, pages := sn.tree.RetiredStats()
+	return IngestStats{
+		Epoch:          sn.tree.Epoch(),
+		LiveObjects:    sn.live,
+		TotalObjects:   len(sn.tree.Dataset().Objects),
+		RetiredRecords: records,
+		RetiredPages:   pages,
+	}
 }
 
 // AddObject inserts one object into the live index (incremental
-// maintenance, Section 5.1). Term weights use the corpus statistics frozen
-// at Build time — the standard IR practice; rebuild periodically to
-// refresh statistics. Returns the new object's id.
+// maintenance, Section 5.1). Term weights use the corpus statistics
+// frozen at Build time — the standard IR practice; rebuild periodically
+// (or Compact) to refresh statistics. Returns the new object's id.
 //
-// AddObject holds the index's write lock for the duration of the insert,
-// so it is safe to call while queries run on other goroutines; concurrent
-// AddObject calls serialize against each other and against queries.
+// The insert is prepared copy-on-write and published atomically:
+// concurrent queries never block on it and observe the index either
+// before or after the insert, never mid-split. The mutation is
+// all-or-nothing — on error nothing is published and the vocabulary is
+// rolled back, so a failed insert leaves no trace.
 func (ix *Index) AddObject(x, y float64, keywords ...string) (int, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+	sn := ix.snap.Load()
+	mark := ix.wvocab.Size()
 	terms := make([]vocab.TermID, len(keywords))
 	for i, kw := range keywords {
-		terms[i] = ix.ds.Vocab.Add(kw)
+		terms[i] = ix.wvocab.Add(kw)
 	}
-	id := int32(len(ix.ds.Objects))
-	err := ix.mir.Insert(dataset.Object{
+	id := int32(len(sn.tree.Dataset().Objects))
+	tree, err := sn.tree.WithInsert(dataset.Object{
 		ID:  id,
 		Loc: geo.Point{X: x, Y: y},
 		Doc: vocab.DocFromTerms(terms),
 	})
-	return int(id), err
+	if err != nil {
+		ix.wvocab.Truncate(mark)
+		return 0, err
+	}
+	ix.snap.Store(&snapshot{tree: tree, vocab: ix.wvocab.View(), live: sn.live + 1, del: sn.del})
+	return int(id), nil
+}
+
+// DeleteObject removes object id from the live index. The id is never
+// reused — deleted objects keep a dead dataset slot so snapshots and
+// saved files stay address-stable — and the deletion publishes as one
+// atomic snapshot swap, invisible to in-flight queries. Returns
+// ErrNoSuchObject (wrapped) for an unknown or already-deleted id.
+func (ix *Index) DeleteObject(id int) error {
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+	sn := ix.snap.Load()
+	if id < 0 || id >= len(sn.tree.Dataset().Objects) || sn.isDeleted(int32(id)) {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, id)
+	}
+	tree, err := sn.tree.WithDelete(int32(id))
+	if err != nil {
+		return err
+	}
+	ix.snap.Store(&snapshot{tree: tree, vocab: sn.vocab, live: sn.live - 1, del: sn.withDeleted(int32(id))})
+	return nil
+}
+
+// UpdateObject replaces object id with a new location and keyword set,
+// publishing the delete and the insert as one snapshot — no concurrent
+// query can observe the object missing. The replacement gets a fresh id
+// (returned); the old id becomes a dead slot. Returns ErrNoSuchObject
+// (wrapped) for an unknown or already-deleted id; on any error nothing
+// is published and the vocabulary is rolled back.
+func (ix *Index) UpdateObject(id int, x, y float64, keywords ...string) (int, error) {
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+	sn := ix.snap.Load()
+	if id < 0 || id >= len(sn.tree.Dataset().Objects) || sn.isDeleted(int32(id)) {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchObject, id)
+	}
+	mark := ix.wvocab.Size()
+	terms := make([]vocab.TermID, len(keywords))
+	for i, kw := range keywords {
+		terms[i] = ix.wvocab.Add(kw)
+	}
+	newID := int32(len(sn.tree.Dataset().Objects))
+	tree, err := sn.tree.WithReplace(int32(id), dataset.Object{
+		ID:  newID,
+		Loc: geo.Point{X: x, Y: y},
+		Doc: vocab.DocFromTerms(terms),
+	})
+	if err != nil {
+		ix.wvocab.Truncate(mark)
+		return 0, err
+	}
+	ix.snap.Store(&snapshot{tree: tree, vocab: ix.wvocab.View(), live: sn.live, del: sn.withDeleted(int32(id))})
+	return int(newID), nil
+}
+
+// Compact builds a fresh index over the current snapshot's live objects
+// under the same frozen context — vocabulary, corpus statistics, space
+// and model parameters — so the result answers every query
+// byte-identically to this index while shedding dead dataset slots and
+// retired store records. Objects are densely reassigned ids in their
+// original order (result object ids change when deletes happened). The
+// returned index is fully independent: it has its own vocabulary copy
+// and accepts its own writers.
+func (ix *Index) Compact() (*Index, error) {
+	sn := ix.snap.Load()
+	ds0 := sn.tree.Dataset()
+	live := make([]dataset.Object, 0, sn.live)
+	for _, o := range ds0.Objects {
+		if sn.isDeleted(o.ID) {
+			continue
+		}
+		o.ID = int32(len(live))
+		live = append(live, o)
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("maxbrstknn: cannot compact an empty index")
+	}
+	v := vocab.New()
+	for id := vocab.TermID(0); int(id) < sn.vocab.Size(); id++ {
+		v.Add(sn.vocab.Term(id))
+	}
+	// The frozen context is injected rather than recomputed: statistics
+	// and space refresh on a real rebuild, which would legitimately move
+	// every weight — Compact's contract is answer identity.
+	ds := &dataset.Dataset{Objects: live, Vocab: v, Stats: ds0.Stats, Space: ds0.Space}
+	// The model is rebuilt over the build-time snapshot — the first
+	// Stats.NumDocs objects under the frozen vocabulary — exactly as the
+	// persistence loader rederives a saved model, reproducing the
+	// original's parameters bit for bit.
+	frozen := vocab.New()
+	for id := vocab.TermID(0); int(id) < len(ds0.Stats.CollectionFreq); id++ {
+		frozen.Add(sn.vocab.Term(id))
+	}
+	model := ix.opts.newModel(&dataset.Dataset{
+		Objects: ds0.Objects[:ds0.Stats.NumDocs], Vocab: frozen, Stats: ds0.Stats, Space: ds0.Space,
+	})
+	mir := irtree.Build(ds, model, irtree.Config{
+		Kind:              irtree.MIRTree,
+		Fanout:            ix.opts.fanout(),
+		DecodedCacheBytes: ix.opts.decodedCacheBytes(),
+	})
+	return newIndex(ix.opts, model, mir, nil, 0, nil), nil
 }
 
 // SimulatedIO returns the cumulative simulated I/O count (Section 8 cost
 // model: one per node visit plus one per 4 kB inverted-file block).
-func (ix *Index) SimulatedIO() int64 { return ix.mir.IO().Total() }
+func (ix *Index) SimulatedIO() int64 { return ix.snap.Load().tree.IO().Total() }
 
 // ResetIO zeroes the simulated I/O counter (a cold-query boundary).
-func (ix *Index) ResetIO() { ix.mir.IO().Reset() }
+func (ix *Index) ResetIO() { ix.snap.Load().tree.IO().Reset() }
 
 // RankedObject is one result of a top-k query.
 type RankedObject struct {
@@ -332,16 +566,15 @@ func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, e
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	scorer := ix.scorerFor(geo.RectFromPoint(geo.Point{X: x, Y: y}))
-	doc := ix.docFromKeywords(keywords, nil)
+	sn := ix.snap.Load()
+	scorer := ix.scorerFor(sn, geo.RectFromPoint(geo.Point{X: x, Y: y}))
+	doc := sn.docFromKeywords(keywords, nil)
 	view := irtree.UserView{
 		Area:  geo.RectFromPoint(geo.Point{X: x, Y: y}),
 		Terms: doc.Terms(),
 		Norm:  scorer.Norm(doc),
 	}
-	results, _, err := ix.mir.TopK(scorer, view, k)
+	results, _, err := sn.tree.TopK(scorer, view, k)
 	if err != nil {
 		return nil, err
 	}
@@ -390,15 +623,17 @@ func (u *unknownTerms) id(kw string) vocab.TermID {
 // how repeated known keywords behave — rather than each occurrence
 // occupying a distinct term slot. unknowns scopes the string→id mapping
 // across documents that will be scored against each other (nil gives the
-// document its own scope). Callers must hold ix.mu (the vocabulary
-// lookup races with AddObject's vocabulary growth otherwise).
-func (ix *Index) docFromKeywords(keywords []string, unknowns *unknownTerms) vocab.Doc {
+// document its own scope). Lookups resolve against the snapshot's fenced
+// vocabulary view, so they are stable under concurrent writer growth: a
+// keyword added to the vocabulary after this snapshot published is
+// (correctly) unknown here.
+func (sn *snapshot) docFromKeywords(keywords []string, unknowns *unknownTerms) vocab.Doc {
 	if unknowns == nil {
 		unknowns = &unknownTerms{}
 	}
 	terms := make([]vocab.TermID, 0, len(keywords))
 	for _, kw := range keywords {
-		if id, ok := ix.ds.Vocab.Lookup(kw); ok {
+		if id, ok := sn.vocab.Lookup(kw); ok {
 			terms = append(terms, id)
 			continue
 		}

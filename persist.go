@@ -55,21 +55,24 @@ func resolveDecodedCacheBytes(v int64) int64 {
 // its vocabulary and build options. Load reconstructs an index that
 // answers every query byte-identically to this one.
 //
-// Objects added with AddObject are included. Save holds the index's read
-// lock, so it is safe to call concurrently with queries and with
-// AddObject (the save sees the index either before or after any
-// concurrent insert, never mid-insert).
+// Objects added with AddObject are included; deleted objects are
+// recorded and stay deleted after Load. Save serializes one consistent
+// snapshot: it holds the writer mutex — so it sees the index either
+// before or after any concurrent mutation, never mid-mutation — while
+// concurrent queries proceed unblocked on their own pinned snapshots.
 func (ix *Index) Save(path string) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+	sn := ix.snap.Load()
 	return persist.Save(path, &persist.Index{
 		Measure:       ix.opts.Measure.kind(),
 		Alpha:         ix.opts.Alpha,
 		ExplicitAlpha: ix.opts.ExplicitAlpha,
 		Lambda:        ix.opts.lambda(),
 		Fanout:        ix.opts.fanout(),
-		DS:            ix.ds,
-		Tree:          ix.mir,
+		DS:            sn.tree.Dataset(),
+		Tree:          sn.tree,
+		Deleted:       sn.deletedIDs(),
 	})
 }
 
@@ -98,25 +101,21 @@ func LoadWithOptions(path string, o LoadOptions) (*Index, error) {
 		pix.Close()
 		return nil, err
 	}
-	return &Index{
-		ds: pix.DS,
-		opts: Options{
-			Measure:        measure,
-			Alpha:          pix.Alpha,
-			ExplicitAlpha:  pix.ExplicitAlpha,
-			Lambda:         pix.Lambda,
-			ExplicitLambda: true,
-			Fanout:         pix.Fanout,
-			// Carry the caller's decoded-cache setting into the loaded
-			// index's options, so session-level caches (the UserIndexed
-			// MIUR-tree cache) honor an explicit disable exactly as they
-			// do on a built index.
-			DecodedCacheBytes: o.DecodedCacheBytes,
-		},
-		model:  pix.Tree.Model(),
-		mir:    pix.Tree,
-		closer: pix,
-	}, nil
+	opts := Options{
+		Measure:        measure,
+		Alpha:          pix.Alpha,
+		ExplicitAlpha:  pix.ExplicitAlpha,
+		Lambda:         pix.Lambda,
+		ExplicitLambda: true,
+		Fanout:         pix.Fanout,
+		// Carry the caller's decoded-cache setting into the loaded
+		// index's options, so session-level caches (the UserIndexed
+		// MIUR-tree cache) honor an explicit disable exactly as they
+		// do on a built index.
+		DecodedCacheBytes: o.DecodedCacheBytes,
+	}
+	live := len(pix.DS.Objects) - len(pix.Deleted)
+	return newIndex(opts, pix.Tree.Model(), pix.Tree, deletedBitmap(pix.Deleted), live, pix), nil
 }
 
 // Close releases the index file backing a loaded index. It is a no-op
@@ -133,7 +132,7 @@ func (ix *Index) Close() error {
 // in-memory index reports zeros; for a loaded index the page count is the
 // real-I/O figure to hold next to SimulatedIO.
 func (ix *Index) ReadStats() (records, pages int64) {
-	s := storage.BackendReadStats(ix.mir.Backend())
+	s := storage.BackendReadStats(ix.snap.Load().tree.Backend())
 	return s.Records, s.Pages
 }
 
@@ -160,8 +159,9 @@ type CacheStats struct {
 // levels (zeros for unconfigured levels).
 func (ix *Index) CacheStats() CacheStats {
 	s := CacheStats{}
-	s.BufferHits, s.BufferMisses = ix.mir.CacheStats()
-	d := ix.mir.DecodedCacheStats()
+	tree := ix.snap.Load().tree
+	s.BufferHits, s.BufferMisses = tree.CacheStats()
+	d := tree.DecodedCacheStats()
 	s.DecodedHits, s.DecodedMisses, s.DecodedEvictions = d.Hits, d.Misses, d.Evictions
 	s.DecodedEntries, s.DecodedBytes, s.DecodedCapBytes = d.Entries, d.Bytes, d.CapBytes
 	return s

@@ -135,9 +135,19 @@ func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
 //
 // # Concurrency
 //
-// A Session is safe for concurrent use: any number of goroutines may call
-// Run, RunTopL, JointTopKAll and Thresholds at the same time. The
-// session's read/write lock guards exactly the prepared engine state
+// A Session pins the index snapshot it was created on: the epoch's tree,
+// vocabulary view and corpus statistics are captured once in
+// NewSession, and every later Run traverses exactly that epoch — no
+// locks against the index, no interference from concurrent AddObject /
+// DeleteObject / UpdateObject calls, whose successor snapshots this
+// session simply never observes. Prepared thresholds and traversals
+// therefore always agree (the PR 4 "session spans an insert" caveat is
+// gone by construction); create a fresh session when the answer should
+// reflect newer mutations.
+//
+// A Session is also safe for concurrent use: any number of goroutines
+// may call Run, RunTopL, JointTopKAll and Thresholds at the same time.
+// The session's read/write lock guards exactly the prepared engine state
 // (the per-user thresholds): Run's Exact/Approx/Exhaustive paths,
 // RunTopL and Thresholds read it under the read lock, while RunMultiple
 // takes the write lock — it temporarily poisons covered users'
@@ -149,13 +159,9 @@ func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
 // UserIndexed runs serialize against each other on uiMu while other
 // strategies proceed unblocked). Code extending those two paths to read
 // the session engine's thresholds must start taking mu.
-//
-// A session's prepared thresholds snapshot the index at creation time:
-// Index.AddObject calls made afterwards are visible to the runs'
-// traversals but not to the thresholds, so create a fresh session after
-// inserts whose effect the answer should reflect (see the Index godoc).
 type Session struct {
 	ix     *Index
+	snap   *snapshot // the pinned epoch: every run reads this, never ix.snap
 	users  []dataset.User
 	k      int
 	engine *core.Engine
@@ -197,8 +203,7 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	sn := ix.snap.Load()
 	// One unknown-term registry spans all user documents, so distinct
 	// unknown strings get distinct ids across the whole cohort and a
 	// request's existing-keyword document (mapped through the same
@@ -210,15 +215,15 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 		dsUsers[i] = dataset.User{
 			ID:  int32(i),
 			Loc: geo.Point{X: u.X, Y: u.Y},
-			Doc: ix.docFromKeywords(u.Keywords, unknowns),
+			Doc: sn.docFromKeywords(u.Keywords, unknowns),
 		}
 	}
-	scorer := ix.scorerFor(dataset.UsersMBR(dsUsers))
-	engine := core.NewEngine(ix.mir, scorer, dsUsers)
+	scorer := ix.scorerFor(sn, dataset.UsersMBR(dsUsers))
+	engine := core.NewEngine(sn.tree, scorer, dsUsers)
 	if err := engine.PrepareJointParallel(k, opts.core()); err != nil {
 		return nil, err
 	}
-	return &Session{ix: ix, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local}, nil
+	return &Session{ix: ix, snap: sn, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local}, nil
 }
 
 // Thresholds returns the prepared k-th score threshold of each user —
@@ -236,8 +241,6 @@ func (s *Session) Run(req Request) (Result, error) {
 	if req.K != s.k {
 		return Result{}, errKMismatch(req.K, s.k)
 	}
-	s.ix.mu.RLock()
-	defer s.ix.mu.RUnlock()
 	q, err := s.buildQuery(req)
 	if err != nil {
 		return Result{}, err
@@ -281,6 +284,8 @@ func (s *Session) runUserIndexed(q core.Query) (core.Selection, core.UserIndexSt
 	s.uiOnce.Do(func() {
 		scorer := s.engine.Scorer
 		s.miur = miurtree.Build(s.users, scorer, s.ix.opts.fanout())
+		// The dedicated engine traverses the session's pinned epoch, like
+		// every other strategy.
 		// Later UserIndexed runs re-traverse the same user tree; cache the
 		// decoded nodes (simulated I/O accounting is unaffected — miurtree
 		// hits still charge node visits). The session budget follows the
@@ -293,7 +298,7 @@ func (s *Session) runUserIndexed(q core.Query) (core.Selection, core.UserIndexSt
 			}
 			s.miur.EnableDecodedCache(b)
 		}
-		s.uiEngine = core.NewEngine(s.ix.mir, scorer, s.users)
+		s.uiEngine = core.NewEngine(s.snap.tree, scorer, s.users)
 	})
 	s.uiMu.Lock()
 	defer s.uiMu.Unlock()
@@ -307,7 +312,7 @@ func (s *Session) buildQuery(req Request) (core.Query, error) {
 	}
 	kws := make([]vocab.TermID, 0, len(req.Keywords))
 	for _, kw := range req.Keywords {
-		if id, ok := s.ix.ds.Vocab.Lookup(kw); ok {
+		if id, ok := s.snap.vocab.Lookup(kw); ok {
 			kws = append(kws, id)
 		}
 		// Candidate keywords outside the corpus vocabulary are dropped:
@@ -323,7 +328,7 @@ func (s *Session) buildQuery(req Request) (core.Query, error) {
 		ws = len(kws)
 	}
 	q := core.Query{
-		OxDoc:     s.ix.docFromKeywords(req.ExistingKeywords, &unknownTerms{base: s.unknowns}),
+		OxDoc:     s.snap.docFromKeywords(req.ExistingKeywords, &unknownTerms{base: s.unknowns}),
 		Locations: locs,
 		Keywords:  kws,
 		WS:        ws,
@@ -340,7 +345,7 @@ func (s *Session) buildResult(req Request, sel core.Selection, stats core.UserIn
 		res.LocationIndex = -1
 	}
 	for _, t := range sel.Keywords {
-		res.Keywords = append(res.Keywords, s.ix.ds.Vocab.Term(t))
+		res.Keywords = append(res.Keywords, s.snap.vocab.Term(t))
 	}
 	for _, uid := range sel.Users {
 		res.UserIDs = append(res.UserIDs, int(uid))
@@ -359,9 +364,7 @@ func (s *Session) buildResult(req Request, sel core.Selection, stats core.UserIn
 // traversal (Section 5) — exposed because the joint computation is, as the
 // paper notes, of independent interest.
 func (s *Session) JointTopKAll() ([][]RankedObject, error) {
-	s.ix.mu.RLock()
-	defer s.ix.mu.RUnlock()
-	res, err := topk.JointTopK(s.ix.mir, s.engine.Scorer, s.users, s.k)
+	res, err := topk.JointTopK(s.snap.tree, s.engine.Scorer, s.users, s.k)
 	if err != nil {
 		return nil, err
 	}

@@ -106,7 +106,7 @@ func TestUnknownKeywordDuplicatesShareTermSlot(t *testing.T) {
 
 	// Repeated unknown strings map to one reserved id with accumulated
 	// frequency — the documented behavior of repeated known keywords.
-	doc := idx.docFromKeywords([]string{"zzz", "zzz"}, nil)
+	doc := idx.snap.Load().docFromKeywords([]string{"zzz", "zzz"}, nil)
 	if doc.Unique() != 1 {
 		t.Fatalf("[zzz zzz]: %d distinct terms, want 1", doc.Unique())
 	}
@@ -115,7 +115,7 @@ func TestUnknownKeywordDuplicatesShareTermSlot(t *testing.T) {
 	}
 
 	// Distinct unknown strings still get distinct slots.
-	doc = idx.docFromKeywords([]string{"zzz", "sushi", "zzz", "qqq"}, nil)
+	doc = idx.snap.Load().docFromKeywords([]string{"zzz", "sushi", "zzz", "qqq"}, nil)
 	if doc.Unique() != 3 {
 		t.Fatalf("[zzz sushi zzz qqq]: %d distinct terms, want 3", doc.Unique())
 	}
