@@ -5,7 +5,7 @@ SERVEADDR ?= 127.0.0.1:18080
 INGESTDIR ?= /tmp/maxbrstknn-ingest-smoke
 INGESTADDR ?= 127.0.0.1:18081
 
-.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke ci
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke ci
 
 all: ci
 
@@ -113,4 +113,13 @@ ingest-smoke:
 	@echo "ingest-smoke: ingest-vs-batch-build equivalence gate passed"
 	rm -rf $(INGESTDIR)
 
-ci: build vet race bench bench-smoke cli-smoke serve-smoke ingest-smoke
+# Bounded fuzz smoke: each codec fuzzer runs briefly (Go allows one
+# -fuzz target per invocation). The seeds assert decode↔encode fixpoints
+# and streaming-vs-decoded sum agreement; the committed testdata corpora
+# replay past crashers as regression tests on every plain `go test` too.
+fuzz-smoke:
+	$(GO) test ./internal/invfile/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s
+	$(GO) test ./internal/invfile/ -run '^$$' -fuzz '^FuzzDecodeSumsInto$$' -fuzztime 10s
+	$(GO) test ./internal/persist/ -run '^$$' -fuzz '^FuzzDecodeMaster$$' -fuzztime 10s
+
+ci: build vet race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke

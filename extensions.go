@@ -13,6 +13,9 @@ import (
 // UserIndexed return an explicit error rather than silently downgrading
 // to Exact.
 func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
+	if err := s.checkOpen("RunTopL"); err != nil {
+		return nil, err
+	}
 	if req.K != s.k {
 		return nil, errKMismatch(req.K, s.k)
 	}
@@ -47,6 +50,9 @@ func (s *Session) RunTopL(req Request, l int) ([]Result, error) {
 // by temporarily poisoning their thresholds), so concurrent Run/RunTopL
 // calls wait for it rather than observing the mid-round state.
 func (s *Session) RunMultiple(req Request, m int) ([]Result, error) {
+	if err := s.checkOpen("RunMultiple"); err != nil {
+		return nil, err
+	}
 	if req.K != s.k {
 		return nil, errKMismatch(req.K, s.k)
 	}

@@ -24,9 +24,10 @@ func TestFigHotpath(t *testing.T) {
 	if !strings.Contains(tables[0].String(), "hit rate") {
 		t.Fatalf("missing hit-rate column in:\n%s", tables[0].String())
 	}
-	if len(rep.Variants) != 4 {
-		t.Fatalf("got %d variants, want 4", len(rep.Variants))
+	if len(rep.Variants) != 8 {
+		t.Fatalf("got %d variants, want 8 (flat + packed, off/on/small)", len(rep.Variants))
 	}
+	sawPacked := false
 	for _, v := range rep.Variants {
 		if v.NsPerOp <= 0 || v.AllocsPerOp < 0 {
 			t.Fatalf("variant %q has implausible measurements: %+v", v.Name, v)
@@ -38,5 +39,17 @@ func TestFigHotpath(t *testing.T) {
 		if !cacheOn && (v.CacheHits != 0 || v.CacheMisses != 0) {
 			t.Fatalf("variant %q recorded decoded-cache traffic while disabled: %+v", v.Name, v)
 		}
+		if cacheOn && v.ResidentBytes <= 0 {
+			t.Fatalf("variant %q reports no resident cache bytes: %+v", v.Name, v)
+		}
+		if strings.HasPrefix(v.Name, "packed") {
+			sawPacked = true
+			if !v.Packed {
+				t.Fatalf("variant %q not flagged packed: %+v", v.Name, v)
+			}
+		}
+	}
+	if !sawPacked {
+		t.Fatal("no packed variants in the report")
 	}
 }

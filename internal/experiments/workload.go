@@ -84,8 +84,8 @@ func NewWorkload(cfg Config, run int) *Workload {
 		US:     us,
 		Locs:   locs,
 		Scorer: scorer,
-		IR:     irtree.Build(ds, scorer.Model, irtree.Config{Kind: irtree.IRTree, Fanout: cfg.Fanout, DecodedCacheBytes: cfg.DecodedCacheBytes}),
-		MIR:    irtree.Build(ds, scorer.Model, irtree.Config{Kind: irtree.MIRTree, Fanout: cfg.Fanout, DecodedCacheBytes: cfg.DecodedCacheBytes}),
+		IR:     irtree.Build(ds, scorer.Model, irtree.Config{Kind: irtree.IRTree, Fanout: cfg.Fanout, DecodedCacheBytes: cfg.DecodedCacheBytes, PackedPostings: cfg.PackedPostings}),
+		MIR:    irtree.Build(ds, scorer.Model, irtree.Config{Kind: irtree.MIRTree, Fanout: cfg.Fanout, DecodedCacheBytes: cfg.DecodedCacheBytes, PackedPostings: cfg.PackedPostings}),
 	}
 }
 

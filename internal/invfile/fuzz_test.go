@@ -1,0 +1,134 @@
+package invfile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+// fuzzSeedFiles builds a few deterministic files spanning the codec's
+// corners: empty terms boundary, single posting, dense blocks crossing
+// the 16-posting block size, duplicate entries (zero deltas), and wide
+// entry gaps (large bit widths).
+func fuzzSeedFiles() []*File {
+	small := New()
+	small.Add(3, Posting{Entry: 0, MaxW: 1.5, MinW: 0.5})
+
+	dense := New()
+	for t := vocab.TermID(0); t < 5; t++ {
+		for e := int32(0); e < 40; e++ {
+			dense.Add(t, Posting{Entry: e, MaxW: float64(t+1) * 0.25, MinW: 0.1})
+		}
+	}
+
+	dup := New()
+	for i := 0; i < 20; i++ {
+		dup.Add(7, Posting{Entry: int32(i / 3), MaxW: 2.0, MinW: 0.25})
+	}
+
+	sparse := New()
+	sparse.Add(1, Posting{Entry: 0, MaxW: 3})
+	sparse.Add(1, Posting{Entry: 1 << 20, MaxW: 4})
+	sparse.Add(9000, Posting{Entry: 5, MaxW: 0.125, MinW: 0.125})
+
+	return []*File{small, dense, dup, sparse}
+}
+
+// FuzzDecode: no input may panic the decoder (flat or packed — Decode
+// dispatches on the version tag), and any buffer that decodes must
+// re-encode to a canonical form that is a decode↔encode fixpoint in both
+// codecs.
+func FuzzDecode(f *testing.F) {
+	for _, sf := range fuzzSeedFiles() {
+		for _, includeMin := range []bool{false, true} {
+			f.Add(sf.Encode(includeMin))
+			f.Add(sf.EncodePacked(includeMin))
+		}
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		file, err := Decode(buf)
+		if err != nil {
+			return
+		}
+		for _, includeMin := range []bool{false, true} {
+			enc := file.Encode(includeMin)
+			f2, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("re-decoding canonical flat encoding: %v", err)
+			}
+			if !bytes.Equal(enc, f2.Encode(includeMin)) {
+				t.Fatal("flat encode is not a decode↔encode fixpoint")
+			}
+			penc := file.EncodePacked(includeMin)
+			p2, err := Decode(penc)
+			if err != nil {
+				t.Fatalf("re-decoding packed encoding: %v", err)
+			}
+			if !bytes.Equal(penc, p2.EncodePacked(includeMin)) {
+				t.Fatal("packed encode is not a decode↔encode fixpoint")
+			}
+		}
+	})
+}
+
+// FuzzDecodeSumsInto: the streaming sum paths (flat byte-wise scan and
+// packed block walk) must never panic on arbitrary input, and on every
+// buffer that decodes they must agree with the decoded-file reference
+// (SumsInto), which the traversal treats as interchangeable.
+func FuzzDecodeSumsInto(f *testing.F) {
+	for _, sf := range fuzzSeedFiles() {
+		for _, includeMin := range []bool{false, true} {
+			f.Add(sf.Encode(includeMin), uint16(50))
+			f.Add(sf.EncodePacked(includeMin), uint16(50))
+		}
+	}
+	floorOf := func(tm vocab.TermID) float64 { return float64(tm%3) * 0.125 }
+	maxTerms := []vocab.TermID{1, 3, 7, 9000}
+	minTerms := []vocab.TermID{2, 3}
+	f.Fuzz(func(t *testing.T, buf []byte, entries uint16) {
+		nEntries := int(entries)%2048 + 1
+		var scratch SumScratch
+		gotMax, gotMin, err := DecodeSumsInto(buf, nEntries, maxTerms, minTerms, floorOf, &scratch)
+		file, derr := Decode(buf)
+		if derr != nil {
+			return // corrupt input: any error is fine, only panics are bugs
+		}
+		if err != nil {
+			// The streaming path may reject entries the decoded file also
+			// rejects (out-of-range entry ids); it must not reject a
+			// buffer whose decoded form sums cleanly.
+			var ref SumScratch
+			if _, _, rerr := file.SumsInto(nEntries, maxTerms, minTerms, floorOf, &ref); rerr == nil {
+				t.Fatalf("streaming sums failed (%v) where decoded-file sums succeed", err)
+			}
+			return
+		}
+		var ref SumScratch
+		wantMax, wantMin, rerr := file.SumsInto(nEntries, maxTerms, minTerms, floorOf, &ref)
+		if rerr != nil {
+			t.Fatalf("decoded-file sums failed (%v) where streaming sums succeeded", rerr)
+		}
+		compareSums(t, "max", gotMax, wantMax)
+		compareSums(t, "min", gotMin, wantMin)
+	})
+}
+
+// compareSums requires bit-agreement except that any NaN matches any NaN
+// (identical arithmetic order makes the paths agree; NaN payloads are the
+// one thing the hardware does not promise).
+func compareSums(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s sums length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.IsNaN(got[i]) && math.IsNaN(want[i]) {
+			continue
+		}
+		if got[i] != want[i] {
+			t.Fatalf("%s sums[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}

@@ -16,12 +16,17 @@ package invfile
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 
 	"repro/internal/storage"
 	"repro/internal/vocab"
 )
+
+// maxEntry bounds decoded posting entries: they index per-node arrays, so
+// a value past int32 (or one whose delta wraps int32) is always corrupt.
+const maxEntry = math.MaxInt32
 
 // Posting links a term to one child entry of a node.
 type Posting struct {
@@ -166,13 +171,27 @@ func (f *File) MemBytes() int64 {
 		int64(len(f.terms))*4 + int64(len(f.starts))*4 + 96
 }
 
-// MaxDecodedBytes bounds the MemBytes of a File decoded from an encoded
-// buffer of n bytes, letting readers test cacheability before paying for
-// a full decode. Every stored term costs ≥ 2 encoded bytes (id + count
-// varints) and holds ≥ 1 posting costing ≥ 9 (max-only) or ≥ 17 (min-max)
-// encoded bytes, against 8 + 24 decoded bytes — so 3n plus the fixed
-// header dominates both layouts.
-func MaxDecodedBytes(n int) int64 { return 3*int64(n) + 128 }
+// MaxDecodedBytes bounds the MemBytes of the cacheable object decoded
+// from an encoded buffer, letting readers test cacheability before paying
+// for a full decode. For the flat v1/v2 layouts every stored term costs
+// ≥ 2 encoded bytes (id + count varints) and holds ≥ 1 posting costing
+// ≥ 9 (max-only) or ≥ 17 (min-max) encoded bytes, against 8 + 24 decoded
+// bytes — so 3·len plus the fixed header dominates both. Packed buffers
+// (v3/v4) are cached as-is behind a PackedFile, whose cost is the buffer
+// plus the term directory — read the claimed term count for the bound
+// (a corrupt count merely fails the budget test; the decode that follows
+// rejects it properly).
+func MaxDecodedBytes(buf []byte) int64 {
+	d := storage.NewDecoder(buf)
+	if v := d.Uvarint(); v == versionPackedMaxOnly || v == versionPackedMinMax {
+		n := d.Uvarint()
+		if d.Err() != nil || n > uint64(len(buf))/3 {
+			n = uint64(len(buf)) / 3
+		}
+		return int64(len(buf)) + 12*int64(n) + 96
+	}
+	return 3*int64(len(buf)) + 128
+}
 
 // Serialization versions: the IR-tree stores only maximum weights (one
 // float per posting, as in Cong et al.); the MIR-tree stores both bounds.
@@ -222,6 +241,13 @@ func (f *File) Encode(includeMin bool) []byte {
 func Decode(buf []byte) (*File, error) {
 	d := storage.NewDecoder(buf)
 	version := d.Uvarint()
+	if d.Err() == nil && (version == versionPackedMaxOnly || version == versionPackedMinMax) {
+		pf, err := DecodePacked(buf)
+		if err != nil {
+			return nil, err
+		}
+		return pf.Unpack()
+	}
 	if d.Err() == nil && version != versionMaxOnly && version != versionMinMax {
 		return nil, fmt.Errorf("invfile: unknown version %d", version)
 	}
@@ -242,6 +268,12 @@ func Decode(buf []byte) (*File, error) {
 	for i := uint64(0); i < n && d.Err() == nil; i++ {
 		t := vocab.TermID(d.Uvarint())
 		cnt := d.Uvarint()
+		if cnt == 0 && d.Err() == nil {
+			// No encoder emits a posting-less term (terms exist only by
+			// Add'ing a posting); accepting one here would let a decoded
+			// file re-encode into forms other paths reject.
+			return nil, fmt.Errorf("invfile: term %d with no postings", t)
+		}
 		if len(f.terms) > 0 && t <= f.terms[len(f.terms)-1] {
 			ordered = false
 		}
@@ -249,7 +281,14 @@ func Decode(buf []byte) (*File, error) {
 		f.starts = append(f.starts, int32(len(f.postings)))
 		prev := int32(0)
 		for j := uint64(0); j < cnt && d.Err() == nil; j++ {
-			entry := prev + int32(d.Uvarint())
+			delta := d.Uvarint()
+			// Reject deltas that would wrap int32: a wrapped entry can go
+			// negative yet pass the "< nEntries" checks downstream, turning
+			// a corrupt page into an index-out-of-range panic.
+			if delta > maxEntry || int64(prev)+int64(delta) > maxEntry {
+				return nil, fmt.Errorf("invfile: posting entry delta %d overflows", delta)
+			}
+			entry := prev + int32(delta)
 			prev = entry
 			maxw := d.Float64()
 			minw := 0.0
@@ -284,6 +323,31 @@ func Decode(buf []byte) (*File, error) {
 // only until its next use.
 type SumScratch struct {
 	Max, Min []float64
+
+	// Buffers of the packed codec's block-skipping sum paths (packed.go):
+	// the optimistic-bound difference array, the per-entry prune verdicts
+	// with their prefix counts, and the wanted-term byte offsets of the
+	// two-pass byte-wise walk.
+	opt    []float64
+	pruned []bool
+	pfx    []int32
+	refs   []packedTermRef
+}
+
+// pruneBuffers returns the scratch's screening buffers resized for n
+// entries (reallocating only on growth): the zeroed difference array, the
+// prune verdicts, and the verdict prefix counts.
+func (s *SumScratch) pruneBuffers(n int) (opt []float64, pruned []bool, pfx []int32) {
+	if cap(s.opt) < n+1 {
+		s.opt = make([]float64, n+1)
+		s.pruned = make([]bool, n)
+		s.pfx = make([]int32, n+1)
+	}
+	opt, pruned, pfx = s.opt[:n+1], s.pruned[:n], s.pfx[:n+1]
+	for i := range opt {
+		opt[i] = 0
+	}
+	return opt, pruned, pfx
 }
 
 // buffers returns the scratch's two sum buffers resized to n (reallocating
@@ -351,7 +415,7 @@ func (f *File) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf
 		}
 		floor := floorOf(t)
 		for _, p := range f.postings[f.starts[ti]:f.starts[ti+1]] {
-			if int(p.Entry) >= nEntries {
+			if p.Entry < 0 || int(p.Entry) >= nEntries {
 				return nil, nil, fmt.Errorf("invfile: posting entry %d out of range", p.Entry)
 			}
 			if wantMax {
@@ -389,6 +453,9 @@ func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, flo
 func DecodeSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
 	d := storage.NewDecoder(buf)
 	version := d.Uvarint()
+	if d.Err() == nil && (version == versionPackedMaxOnly || version == versionPackedMinMax) {
+		return PackedSumsInto(buf, nEntries, maxTerms, minTerms, floorOf, scratch)
+	}
 	if d.Err() == nil && version != versionMaxOnly && version != versionMinMax {
 		return nil, nil, fmt.Errorf("invfile: unknown version %d", version)
 	}
@@ -417,14 +484,18 @@ func DecodeSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID,
 		floor := floorOf(t)
 		prev := int32(0)
 		for j := uint64(0); j < cnt; j++ {
-			entry := prev + int32(d.Uvarint())
+			delta := d.Uvarint()
+			if delta > maxEntry || int64(prev)+int64(delta) > maxEntry {
+				return nil, nil, fmt.Errorf("invfile: posting entry delta %d overflows", delta)
+			}
+			entry := prev + int32(delta)
 			prev = entry
 			maxw := d.Float64()
 			minw := 0.0
 			if hasMin {
 				minw = d.Float64()
 			}
-			if int(entry) >= nEntries {
+			if entry < 0 || int(entry) >= nEntries {
 				return nil, nil, fmt.Errorf("invfile: posting entry %d out of range", entry)
 			}
 			if wantMax {
@@ -444,8 +515,9 @@ func DecodeSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID,
 // Store persists inverted files through a storage backend and charges
 // simulated I/O on load.
 type Store struct {
-	pager storage.Backend
-	io    *storage.IOCounter
+	pager  storage.Backend
+	io     *storage.IOCounter
+	packed bool
 }
 
 // NewStore returns a store writing to pager and charging loads to io.
@@ -453,9 +525,17 @@ func NewStore(pager storage.Backend, io *storage.IOCounter) *Store {
 	return &Store{pager: pager, io: io}
 }
 
+// UsePacked selects the block-max packed layout (versions 3/4) for every
+// subsequent Put. Call before sharing the store; files already written
+// keep their layout (Load dispatches on the stored version).
+func (s *Store) UsePacked(on bool) { s.packed = on }
+
 // Put serializes f (with or without minimum weights) and returns its page
 // address.
 func (s *Store) Put(f *File, includeMin bool) storage.PageID {
+	if s.packed {
+		return s.pager.WriteRecord(f.EncodePacked(includeMin))
+	}
 	return s.pager.WriteRecord(f.Encode(includeMin))
 }
 

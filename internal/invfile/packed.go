@@ -1,0 +1,699 @@
+// Block-max compressed posting layout (serialization versions 3 and 4).
+//
+// The flat v1/v2 layout spends a varint + raw float64s per posting and
+// forces a sum pass to touch every posting of every wanted term. The
+// packed layout groups each term's postings into fixed-size blocks of
+// delta + bit-packed entries and prefixes every block with a header
+// carrying the block's entry range and its maximum weight bounds. That
+// buys two things:
+//
+//   - Compression: entry gaps cost bits, not varint bytes, so resident
+//     cached bytes drop (the decoded-object cache stores the packed buffer
+//     itself plus a small term directory instead of 24-byte postings).
+//   - Skipping: a traversal that already holds a result threshold can
+//     compute an optimistic per-entry bound from block headers alone and
+//     decode only the blocks that contain a surviving entry — the
+//     block-max-WAND idea applied to the paper's per-node contribution
+//     sums.
+//
+// Losslessness: the optimistic bound adds, per wanted term and per entry
+// inside a block's range, max(blockMaxMaxW − floor, 0) — at least what the
+// exact sum adds (maxw − floor, possibly negative, and nothing for absent
+// entries; for the degenerate duplicate-entry case the per-block bound is
+// multiplied by the posting count, covering every repeat) — so every entry
+// the screen prunes would also have failed the exact upper-bound test. Surviving entries are then accumulated from
+// fully decoded blocks in the same term-ascending, entry-ascending order
+// as the flat layout, reproducing the flat sums bit for bit.
+//
+// Layout (all integers unsigned LEB128 unless noted):
+//
+//	version (3 = max-only, 4 = min-max)
+//	numTerms
+//	per term, ascending strictly:
+//	  termID          (raw, not delta-coded — sections are self-contained)
+//	  count           (postings, ≥ 1)
+//	  sectionLen      (byte length of the blocks that follow; lets a
+//	                   reader skip a whole unwanted term in O(1))
+//	  blocks of packedBlockSize postings (last may be short):
+//	    firstDelta    (first entry − previous block's last entry, init 0)
+//	    span          (last entry − first entry)
+//	    bitWidth      (1 raw byte: low 5 bits ≤ 31; bit 0x80 set when the
+//	                   block holds duplicate entries — a zero delta — in
+//	                   which case the screen multiplies the block bound by
+//	                   the posting count to stay sound)
+//	    blockMaxMaxW  (raw float64 LE)
+//	    blockMaxMinW  (raw float64 LE, version 4 only — the largest MinW
+//	                   in the block; ≤ floor means the block cannot
+//	                   contribute to any min sum and is skipped)
+//	    deltas        ((count−1)·bitWidth bits, LSB-first: entry[i] −
+//	                   entry[i−1])
+//	    maxW          (count raw float64 LE)
+//	    minW          (count raw float64 LE, version 4 only)
+//
+// Weights stay raw float64 — compressing them would break the
+// byte-identical-results invariant the equivalence gates pin.
+package invfile
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/storage"
+	"repro/internal/vocab"
+)
+
+const (
+	versionPackedMaxOnly = 3
+	versionPackedMinMax  = 4
+)
+
+// packedBlockSize is the number of postings per block. Nodes hold at most
+// `fanout` entries (32 by default), so small blocks keep more than one
+// block per hot term and give the screen something to skip; 16 keeps the
+// per-block header overhead under ~1 byte/posting.
+const packedBlockSize = 16
+
+// packedTermRef locates one wanted term's section for the sum walks: the
+// byte range of its blocks, its posting count, and what the caller wants
+// accumulated from it.
+type packedTermRef struct {
+	off, end int // block payload byte range within the encoded buffer
+	cnt      int // posting count
+	floor    float64
+	wantMax  bool
+	wantMin  bool
+}
+
+// IsPacked reports whether buf holds a packed (version 3/4) inverted file.
+func IsPacked(buf []byte) bool {
+	d := storage.NewDecoder(buf)
+	v := d.Uvarint()
+	return d.Err() == nil && (v == versionPackedMaxOnly || v == versionPackedMinMax)
+}
+
+// EncodePacked serializes the file in the block-max packed layout.
+func (f *File) EncodePacked(includeMin bool) []byte {
+	f.freeze()
+	version := uint64(versionPackedMaxOnly)
+	if includeMin {
+		version = versionPackedMinMax
+	}
+	buf := storage.AppendUvarint(nil, version)
+	buf = storage.AppendUvarint(buf, uint64(len(f.terms)))
+	var section []byte
+	for i, t := range f.terms {
+		ps := f.postings[f.starts[i]:f.starts[i+1]]
+		section = appendPackedSection(section[:0], ps, includeMin)
+		buf = storage.AppendUvarint(buf, uint64(t))
+		buf = storage.AppendUvarint(buf, uint64(len(ps)))
+		buf = storage.AppendUvarint(buf, uint64(len(section)))
+		buf = append(buf, section...)
+	}
+	return buf
+}
+
+// appendPackedSection encodes one term's postings as blocks.
+func appendPackedSection(buf []byte, ps []Posting, includeMin bool) []byte {
+	prevLast := int32(0)
+	for o := 0; o < len(ps); o += packedBlockSize {
+		blk := ps[o:min(o+packedBlockSize, len(ps))]
+		first, last := blk[0].Entry, blk[len(blk)-1].Entry
+		var maxMaxW, maxMinW float64
+		var bw uint
+		dup := false
+		for j := range blk {
+			if j == 0 || blk[j].MaxW > maxMaxW {
+				maxMaxW = blk[j].MaxW
+			}
+			if j == 0 || blk[j].MinW > maxMinW {
+				maxMinW = blk[j].MinW
+			}
+			if j > 0 {
+				d := uint32(blk[j].Entry - blk[j-1].Entry)
+				if d == 0 {
+					dup = true
+				}
+				if n := uint(bits.Len32(d)); n > bw {
+					bw = n
+				}
+			}
+		}
+		bwByte := byte(bw)
+		if dup {
+			bwByte |= packedDupFlag
+		}
+		buf = storage.AppendUvarint(buf, uint64(first-prevLast))
+		buf = storage.AppendUvarint(buf, uint64(last-first))
+		buf = append(buf, bwByte)
+		buf = storage.AppendFloat64(buf, maxMaxW)
+		if includeMin {
+			buf = storage.AppendFloat64(buf, maxMinW)
+		}
+		var acc uint64
+		var nb uint
+		for j := 1; j < len(blk); j++ {
+			acc |= uint64(uint32(blk[j].Entry-blk[j-1].Entry)) << nb
+			nb += bw
+			for nb >= 8 {
+				buf = append(buf, byte(acc))
+				acc >>= 8
+				nb -= 8
+			}
+		}
+		if nb > 0 {
+			buf = append(buf, byte(acc))
+		}
+		for j := range blk {
+			buf = storage.AppendFloat64(buf, blk[j].MaxW)
+		}
+		if includeMin {
+			for j := range blk {
+				buf = storage.AppendFloat64(buf, blk[j].MinW)
+			}
+		}
+		prevLast = last
+	}
+	return buf
+}
+
+// packedDeltaBytes is the byte length of a block's bit-packed delta field.
+func packedDeltaBytes(count int, bw uint) int {
+	return (int(bw)*(count-1) + 7) / 8
+}
+
+// packedPayloadBytes is the byte length of a block's payload (everything
+// after the fixed header): deltas plus the raw weight arrays.
+func packedPayloadBytes(count int, bw uint, hasMin bool) int {
+	n := packedDeltaBytes(count, bw) + count*8
+	if hasMin {
+		n += count * 8
+	}
+	return n
+}
+
+// packedDupFlag marks a block containing duplicate entries (a zero delta)
+// in the top bit of its bitWidth byte.
+const packedDupFlag = 0x80
+
+// readPackedBlockHeader reads one block header. prevLast is the previous
+// block's last entry (0 before the first block). dup reports the
+// duplicate-entries flag.
+func readPackedBlockHeader(d *storage.Decoder, prevLast int, hasMin bool) (first, last int, bw uint, dup bool, maxMaxW, maxMinW float64, err error) {
+	firstDelta := d.Uvarint()
+	span := d.Uvarint()
+	bwRaw := d.View(1)
+	if d.Err() != nil {
+		return 0, 0, 0, false, 0, 0, d.Err()
+	}
+	if firstDelta > maxEntry || int64(prevLast)+int64(firstDelta) > maxEntry {
+		return 0, 0, 0, false, 0, 0, fmt.Errorf("invfile: packed block first-entry delta %d overflows", firstDelta)
+	}
+	first = prevLast + int(firstDelta)
+	if span > maxEntry || int64(first)+int64(span) > maxEntry {
+		return 0, 0, 0, false, 0, 0, fmt.Errorf("invfile: packed block span %d overflows", span)
+	}
+	last = first + int(span)
+	dup = bwRaw[0]&packedDupFlag != 0
+	bw = uint(bwRaw[0] &^ packedDupFlag)
+	if bw > 31 {
+		return 0, 0, 0, false, 0, 0, fmt.Errorf("invfile: packed block bit width %d exceeds 31", bw)
+	}
+	maxMaxW = d.Float64()
+	if hasMin {
+		maxMinW = d.Float64()
+	}
+	return first, last, bw, dup, maxMaxW, maxMinW, d.Err()
+}
+
+// unpackDeltas decodes count−1 bit-packed entry deltas from payload into
+// out. payload must hold at least packedDeltaBytes(count, bw) bytes.
+func unpackDeltas(payload []byte, count int, bw uint, out *[packedBlockSize]int32) {
+	var acc uint64
+	var nb uint
+	pos := 0
+	mask := uint64(1)<<bw - 1
+	for i := 0; i < count-1; i++ {
+		for nb < bw {
+			acc |= uint64(payload[pos]) << nb
+			pos++
+			nb += 8
+		}
+		out[i] = int32(acc & mask)
+		acc >>= bw
+		nb -= bw
+	}
+}
+
+// PackedFile is a validated packed inverted file held in its encoded form:
+// the buffer plus a binary-searchable term directory. It is what the
+// decoded-object cache stores for packed indexes — resident cost is the
+// compressed bytes, not 24-byte postings.
+//
+// A PackedFile is immutable and safe to share between goroutines.
+type PackedFile struct {
+	buf    []byte
+	terms  []vocab.TermID
+	offs   []int32 // block payload start per term
+	cnts   []int32 // posting count per term
+	hasMin bool
+	nPost  int
+}
+
+// DecodePacked parses and structurally validates a packed buffer. After a
+// successful decode every section walk is known to stay in bounds, blocks
+// are known consistent (delta sums match the header span), and terms are
+// strictly ascending — the sum paths only re-check entry-vs-node bounds,
+// which need the node's entry count.
+func DecodePacked(buf []byte) (*PackedFile, error) {
+	if len(buf) > math.MaxInt32 {
+		return nil, fmt.Errorf("invfile: packed buffer of %d bytes exceeds int32 addressing", len(buf))
+	}
+	d := storage.NewDecoder(buf)
+	version := d.Uvarint()
+	if d.Err() == nil && version != versionPackedMaxOnly && version != versionPackedMinMax {
+		return nil, fmt.Errorf("invfile: unknown packed version %d", version)
+	}
+	hasMin := version == versionPackedMinMax
+	n := d.Uvarint()
+	// Each term header costs at least three encoded bytes (id, count,
+	// section length), so reject counts a corrupt buffer cannot hold
+	// before sizing allocations from them.
+	if d.Err() == nil && n > uint64(len(buf))/3 {
+		return nil, fmt.Errorf("invfile: packed term count %d exceeds %d-byte buffer", n, len(buf))
+	}
+	pf := &PackedFile{buf: buf, hasMin: hasMin}
+	if n > 0 && d.Err() == nil {
+		pf.terms = make([]vocab.TermID, 0, n)
+		pf.offs = make([]int32, 0, n)
+		pf.cnts = make([]int32, 0, n)
+	}
+	var deltas [packedBlockSize]int32
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		t := vocab.TermID(d.Uvarint())
+		cnt := d.Uvarint()
+		secLen := d.Uvarint()
+		if d.Err() != nil {
+			break
+		}
+		if len(pf.terms) > 0 && t <= pf.terms[len(pf.terms)-1] {
+			return nil, fmt.Errorf("invfile: packed terms out of order (%d after %d)", t, pf.terms[len(pf.terms)-1])
+		}
+		// Every posting carries ≥ 8 raw weight bytes.
+		if cnt == 0 || cnt > uint64(len(buf))/8 {
+			return nil, fmt.Errorf("invfile: packed posting count %d invalid for %d-byte buffer", cnt, len(buf))
+		}
+		off := d.Offset()
+		if secLen > uint64(d.Remaining()) {
+			return nil, fmt.Errorf("invfile: packed section length %d exceeds remaining %d bytes", secLen, d.Remaining())
+		}
+		end := off + int(secLen)
+		prevLast := 0
+		for remaining := int(cnt); remaining > 0; {
+			count := min(remaining, packedBlockSize)
+			first, last, bw, dup, _, _, err := readPackedBlockHeader(d, prevLast, hasMin)
+			if err != nil {
+				return nil, err
+			}
+			pay := d.View(packedPayloadBytes(count, bw, hasMin))
+			if d.Err() != nil || d.Offset() > end {
+				return nil, fmt.Errorf("invfile: packed section for term %d overruns its %d-byte length", t, secLen)
+			}
+			unpackDeltas(pay, count, bw, &deltas)
+			sum, zero := 0, false
+			for j := 0; j < count-1; j++ {
+				sum += int(deltas[j])
+				if deltas[j] == 0 {
+					zero = true
+				}
+			}
+			if first+sum != last {
+				return nil, fmt.Errorf("invfile: packed block deltas sum to %d, header span says %d", sum, last-first)
+			}
+			// The dup flag keeps the header-only screen sound; a flag that
+			// understates duplicates would let it over-prune, so reject any
+			// mismatch in either direction.
+			if zero != dup {
+				return nil, fmt.Errorf("invfile: packed block duplicate flag %v does not match deltas", dup)
+			}
+			prevLast = last
+			remaining -= count
+		}
+		if d.Offset() != end {
+			return nil, fmt.Errorf("invfile: packed section for term %d underruns its %d-byte length", t, secLen)
+		}
+		pf.terms = append(pf.terms, t)
+		pf.offs = append(pf.offs, int32(off))
+		pf.cnts = append(pf.cnts, int32(cnt))
+		pf.nPost += int(cnt)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("invfile: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("invfile: %d trailing bytes after packed sections", d.Remaining())
+	}
+	return pf, nil
+}
+
+// HasMin reports whether the file stores minimum weights (version 4).
+func (pf *PackedFile) HasMin() bool { return pf.hasMin }
+
+// NumTerms returns the number of distinct terms.
+func (pf *PackedFile) NumTerms() int { return len(pf.terms) }
+
+// NumPostings returns the total posting count.
+func (pf *PackedFile) NumPostings() int { return pf.nPost }
+
+// MemBytes approximates the resident size: the encoded buffer plus the
+// term directory — the figure the decoded-object cache accounts against
+// its byte cap.
+func (pf *PackedFile) MemBytes() int64 {
+	return int64(len(pf.buf)) + int64(len(pf.terms))*12 + 96
+}
+
+// Unpack decodes the packed file into the flat in-memory layout. Used by
+// paths that need materialized posting lists (the baseline TopK and the
+// incremental-mutation reader).
+func (pf *PackedFile) Unpack() (*File, error) {
+	f := &File{}
+	if n := len(pf.terms); n > 0 {
+		f.terms = make([]vocab.TermID, 0, n)
+		f.starts = make([]int32, 0, n+1)
+		f.postings = make([]Posting, 0, pf.nPost)
+	}
+	d := storage.NewDecoder(pf.buf)
+	var deltas [packedBlockSize]int32
+	for i, t := range pf.terms {
+		f.terms = append(f.terms, t)
+		f.starts = append(f.starts, int32(len(f.postings)))
+		d.Seek(int(pf.offs[i]))
+		prevLast := 0
+		for remaining := int(pf.cnts[i]); remaining > 0; {
+			count := min(remaining, packedBlockSize)
+			first, last, bw, _, _, _, err := readPackedBlockHeader(d, prevLast, pf.hasMin)
+			if err != nil {
+				return nil, err
+			}
+			pay := d.View(packedPayloadBytes(count, bw, pf.hasMin))
+			if d.Err() != nil {
+				return nil, fmt.Errorf("invfile: %w", d.Err())
+			}
+			unpackDeltas(pay, count, bw, &deltas)
+			db := packedDeltaBytes(count, bw)
+			minOff := db + count*8
+			entry := int32(first)
+			for j := 0; j < count; j++ {
+				if j > 0 {
+					entry += deltas[j-1]
+				}
+				p := Posting{Entry: entry, MaxW: readF64(pay[db+j*8:])}
+				if pf.hasMin {
+					p.MinW = readF64(pay[minOff+j*8:])
+				}
+				f.postings = append(f.postings, p)
+			}
+			prevLast = last
+			remaining -= count
+		}
+	}
+	f.starts = append(f.starts, int32(len(f.postings)))
+	return f, nil
+}
+
+func readF64(b []byte) float64 {
+	return math.Float64frombits(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+// SumsInto computes the per-entry bound sums over the packed layout —
+// the packed counterpart of (*File).SumsInto, bit-identical to it.
+func (pf *PackedFile) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
+	maxSums, minSums, _, err = pf.SumsBounded(nEntries, maxTerms, minTerms, floorOf, scratch, nil)
+	return maxSums, minSums, err
+}
+
+// SumsBounded is SumsInto with an optional screen: when check is non-nil
+// it is called once per entry with an optimistic upper bound on that
+// entry's max sum, computed from block headers alone; entries it rejects
+// are marked in the returned pruned slice and their sums are not computed
+// (the slices hold garbage at pruned positions). Blocks whose entries are
+// all pruned are never decoded. pruned is nil when nothing was pruned (or
+// check was nil); the non-pruned positions of maxSums/minSums are
+// bit-identical to the flat path's. The returned slices alias scratch.
+func (pf *PackedFile) SumsBounded(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch, check func(entry int, optMaxSum float64) bool) (maxSums, minSums []float64, pruned []bool, err error) {
+	refs := scratch.refs[:0]
+	mi, ni := 0, 0
+	for mi < len(maxTerms) || ni < len(minTerms) {
+		var t vocab.TermID
+		switch {
+		case mi >= len(maxTerms):
+			t = minTerms[ni]
+		case ni >= len(minTerms):
+			t = maxTerms[mi]
+		case maxTerms[mi] <= minTerms[ni]:
+			t = maxTerms[mi]
+		default:
+			t = minTerms[ni]
+		}
+		wantMax := mi < len(maxTerms) && maxTerms[mi] == t
+		wantMin := ni < len(minTerms) && minTerms[ni] == t
+		if wantMax {
+			mi++
+		}
+		if wantMin {
+			ni++
+		}
+		ti, ok := binarySearchTerms(pf.terms, t)
+		if !ok {
+			continue
+		}
+		refs = append(refs, packedTermRef{
+			off:     int(pf.offs[ti]),
+			end:     sectionEnd(pf, ti),
+			cnt:     int(pf.cnts[ti]),
+			floor:   floorOf(t),
+			wantMax: wantMax,
+			wantMin: wantMin,
+		})
+	}
+	scratch.refs = refs
+	floorMax, floorMin := floorSums(maxTerms, minTerms, floorOf)
+	return packedSumsCore(pf.buf, pf.hasMin, nEntries, floorMax, floorMin, scratch, check)
+}
+
+// sectionEnd computes the byte end of term ti's block payload. Sections
+// are stored back to back but separated by the next term's header, so the
+// end is recovered by walking the blocks — instead, the directory keeps it
+// implicit: the validated walk already proved each section self-consistent,
+// so the core's end guard only needs an upper bound.
+func sectionEnd(pf *PackedFile, ti int) int {
+	if ti+1 < len(pf.offs) {
+		return int(pf.offs[ti+1]) // ≥ true end (next header bytes are slack)
+	}
+	return len(pf.buf)
+}
+
+func binarySearchTerms(terms []vocab.TermID, t vocab.TermID) (int, bool) {
+	lo, hi := 0, len(terms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if terms[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(terms) && terms[lo] == t
+}
+
+// PackedSumsInto is the streaming (no PackedFile) packed sum path: one
+// byte-wise pass over an encoded packed buffer with unwanted sections
+// skipped in O(1) via their stored lengths. The cold-path counterpart of
+// DecodeSumsInto for versions 3/4.
+func PackedSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
+	maxSums, minSums, _, err = PackedSumsBounded(buf, nEntries, maxTerms, minTerms, floorOf, scratch, nil)
+	return maxSums, minSums, err
+}
+
+// PackedSumsBounded is PackedSumsInto with the optional block-skip screen
+// of (*PackedFile).SumsBounded. The buffer is walked defensively — corrupt
+// structure yields an error, never a panic.
+func PackedSumsBounded(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch, check func(entry int, optMaxSum float64) bool) (maxSums, minSums []float64, pruned []bool, err error) {
+	d := storage.NewDecoder(buf)
+	version := d.Uvarint()
+	if d.Err() == nil && version != versionPackedMaxOnly && version != versionPackedMinMax {
+		return nil, nil, nil, fmt.Errorf("invfile: unknown packed version %d", version)
+	}
+	hasMin := version == versionPackedMinMax
+	n := d.Uvarint()
+	refs := scratch.refs[:0]
+	mi, ni := 0, 0 // cursors into maxTerms / minTerms (stored terms ascend)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		t := vocab.TermID(d.Uvarint())
+		cnt := d.Uvarint()
+		secLen := d.Uvarint()
+		if d.Err() != nil {
+			break
+		}
+		if cnt == 0 || cnt > uint64(len(buf))/8 {
+			return nil, nil, nil, fmt.Errorf("invfile: packed posting count %d invalid for %d-byte buffer", cnt, len(buf))
+		}
+		off := d.Offset()
+		if d.View(int(secLen)) == nil { // bounds-checked O(1) section skip
+			break
+		}
+		for mi < len(maxTerms) && maxTerms[mi] < t {
+			mi++
+		}
+		for ni < len(minTerms) && minTerms[ni] < t {
+			ni++
+		}
+		wantMax := mi < len(maxTerms) && maxTerms[mi] == t
+		wantMin := ni < len(minTerms) && minTerms[ni] == t
+		if !wantMax && !wantMin {
+			continue
+		}
+		refs = append(refs, packedTermRef{
+			off:     off,
+			end:     off + int(secLen),
+			cnt:     int(cnt),
+			floor:   floorOf(t),
+			wantMax: wantMax,
+			wantMin: wantMin,
+		})
+	}
+	if err := d.Err(); err != nil {
+		scratch.refs = refs
+		return nil, nil, nil, fmt.Errorf("invfile: %w", err)
+	}
+	scratch.refs = refs
+	floorMax, floorMin := floorSums(maxTerms, minTerms, floorOf)
+	return packedSumsCore(buf, hasMin, nEntries, floorMax, floorMin, scratch, check)
+}
+
+// packedSumsCore runs the (optionally screened) sum accumulation over the
+// term sections listed in scratch.refs.
+//
+// Pass A (only when check != nil): walk block headers of every wantMax
+// ref, accumulating max(blockMaxMaxW − floor, 0) over each block's entry
+// range into a difference array; the prefix sums plus the floor baseline
+// are the optimistic per-entry bounds handed to check. Pass B: walk the
+// refs again, skipping blocks whose entries are all pruned (and min
+// accumulation for blocks whose blockMaxMinW cannot beat the floor), and
+// accumulate exact sums from decoded blocks in flat order.
+func packedSumsCore(buf []byte, hasMin bool, nEntries int, floorMax, floorMin float64, scratch *SumScratch, check func(entry int, optMaxSum float64) bool) (maxSums, minSums []float64, pruned []bool, err error) {
+	refs := scratch.refs
+	var pfx []int32
+	if check != nil && nEntries > 0 {
+		opt, prunedBuf, pfxBuf := scratch.pruneBuffers(nEntries)
+		d := storage.NewDecoder(buf)
+		for ri := range refs {
+			r := &refs[ri]
+			if !r.wantMax {
+				continue
+			}
+			d.Seek(r.off)
+			prevLast := 0
+			for remaining := r.cnt; remaining > 0; {
+				count := min(remaining, packedBlockSize)
+				first, last, bw, dup, maxMaxW, _, err := readPackedBlockHeader(d, prevLast, hasMin)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if d.View(packedPayloadBytes(count, bw, hasMin)) == nil || d.Offset() > r.end {
+					return nil, nil, nil, fmt.Errorf("invfile: packed section overruns at offset %d", d.Offset())
+				}
+				if last >= nEntries {
+					return nil, nil, nil, fmt.Errorf("invfile: posting entry %d out of range", last)
+				}
+				if c := maxMaxW - r.floor; c > 0 {
+					if dup {
+						// Duplicate entries: one entry may receive up to
+						// count contributions from this block.
+						c *= float64(count)
+					}
+					opt[first] += c
+					opt[last+1] -= c
+				}
+				prevLast = last
+				remaining -= count
+			}
+		}
+		acc := 0.0
+		np := int32(0)
+		for i := 0; i < nEntries; i++ {
+			acc += opt[i]
+			v := check(i, floorMax+acc)
+			prunedBuf[i] = v
+			if v {
+				np++
+			}
+			pfxBuf[i+1] = np
+		}
+		if np > 0 {
+			pruned, pfx = prunedBuf, pfxBuf
+		}
+	}
+
+	maxSums, minSums = scratch.buffers(nEntries, floorMax, floorMin)
+	d := storage.NewDecoder(buf)
+	var deltas [packedBlockSize]int32
+	for ri := range refs {
+		r := &refs[ri]
+		d.Seek(r.off)
+		prevLast := 0
+		for remaining := r.cnt; remaining > 0; {
+			count := min(remaining, packedBlockSize)
+			first, last, bw, _, _, maxMinW, err := readPackedBlockHeader(d, prevLast, hasMin)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if last >= nEntries {
+				return nil, nil, nil, fmt.Errorf("invfile: posting entry %d out of range", last)
+			}
+			needMax := r.wantMax
+			needMin := r.wantMin && hasMin && maxMinW > r.floor
+			skip := !needMax && !needMin
+			if !skip && pruned != nil && int(pfx[last+1]-pfx[first]) == last-first+1 {
+				skip = true // every entry the block can touch is pruned
+			}
+			payLen := packedPayloadBytes(count, bw, hasMin)
+			if skip {
+				if d.View(payLen) == nil || d.Offset() > r.end {
+					return nil, nil, nil, fmt.Errorf("invfile: packed section overruns at offset %d", d.Offset())
+				}
+				prevLast = last
+				remaining -= count
+				continue
+			}
+			pay := d.View(payLen)
+			if pay == nil || d.Offset() > r.end {
+				return nil, nil, nil, fmt.Errorf("invfile: packed section overruns at offset %d", d.Offset())
+			}
+			unpackDeltas(pay, count, bw, &deltas)
+			db := packedDeltaBytes(count, bw)
+			minOff := db + count*8
+			entry := first
+			for j := 0; j < count; j++ {
+				if j > 0 {
+					entry += int(deltas[j-1])
+				}
+				if entry > last {
+					return nil, nil, nil, fmt.Errorf("invfile: packed block entry %d exceeds header last %d", entry, last)
+				}
+				if needMax {
+					maxSums[entry] += readF64(pay[db+j*8:]) - r.floor
+				}
+				if needMin {
+					if w := readF64(pay[minOff+j*8:]); w > r.floor {
+						minSums[entry] += w - r.floor
+					}
+				}
+			}
+			prevLast = last
+			remaining -= count
+		}
+	}
+	return maxSums, minSums, pruned, nil
+}

@@ -1,0 +1,220 @@
+package invfile
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+// randomFile builds a file with rng-driven term/posting structure,
+// including duplicate entries and large entry gaps.
+func randomFile(rng *rand.Rand, nTerms, maxPostings, nEntries int) *File {
+	f := New()
+	for t := 0; t < nTerms; t++ {
+		cnt := 1 + rng.Intn(maxPostings)
+		entry := int32(0)
+		for j := 0; j < cnt; j++ {
+			entry += int32(rng.Intn(nEntries/cnt + 1))
+			if int(entry) >= nEntries {
+				entry = int32(nEntries - 1)
+			}
+			maxw := rng.Float64()
+			f.Add(vocab.TermID(t*3+1), Posting{Entry: entry, MaxW: maxw, MinW: maxw * rng.Float64()})
+		}
+	}
+	return f
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		f := randomFile(rng, 1+rng.Intn(20), 1+rng.Intn(40), 64)
+		for _, includeMin := range []bool{false, true} {
+			buf := f.EncodePacked(includeMin)
+			if !IsPacked(buf) {
+				t.Fatal("EncodePacked output not recognized as packed")
+			}
+			pf, err := DecodePacked(buf)
+			if err != nil {
+				t.Fatalf("DecodePacked: %v", err)
+			}
+			got, err := pf.Unpack()
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			want, err := Decode(f.Encode(includeMin))
+			if err != nil {
+				t.Fatalf("Decode flat: %v", err)
+			}
+			if !reflect.DeepEqual(got.terms, want.terms) || !reflect.DeepEqual(got.postings, want.postings) {
+				t.Fatalf("trial %d includeMin=%v: unpacked file differs from flat decode", trial, includeMin)
+			}
+			// Decode must dispatch on the packed version too.
+			via, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode packed: %v", err)
+			}
+			if !reflect.DeepEqual(via.postings, want.postings) {
+				t.Fatalf("trial %d: Decode(packed) differs from flat decode", trial)
+			}
+		}
+	}
+}
+
+func TestPackedSumsMatchFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	floorOf := func(tm vocab.TermID) float64 { return float64(tm%5) / 10 }
+	for trial := 0; trial < 50; trial++ {
+		nEntries := 1 + rng.Intn(64)
+		f := randomFile(rng, 1+rng.Intn(20), 1+rng.Intn(30), nEntries)
+		var maxTerms, minTerms []vocab.TermID
+		for tm := 0; tm < 70; tm += 1 + rng.Intn(4) {
+			if rng.Intn(2) == 0 {
+				maxTerms = append(maxTerms, vocab.TermID(tm))
+			}
+			if rng.Intn(3) == 0 {
+				minTerms = append(minTerms, vocab.TermID(tm))
+			}
+		}
+		for _, includeMin := range []bool{false, true} {
+			wantMax, wantMin, err := f.SumsInto(nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+			if err != nil {
+				t.Fatalf("flat SumsInto: %v", err)
+			}
+			// Flat encode with includeMin=false zeroes MinW on decode; the
+			// reference must see the same postings the packed buffer holds.
+			ref, err := Decode(f.Encode(includeMin))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMax, wantMin, err = ref.SumsInto(nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			buf := f.EncodePacked(includeMin)
+			pf, err := DecodePacked(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMax, gotMin, err := pf.SumsInto(nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+			if err != nil {
+				t.Fatalf("packed SumsInto: %v", err)
+			}
+			if !reflect.DeepEqual(gotMax, wantMax) || !reflect.DeepEqual(gotMin, wantMin) {
+				t.Fatalf("trial %d includeMin=%v: packed sums differ from flat", trial, includeMin)
+			}
+			gotMax, gotMin, err = PackedSumsInto(buf, nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+			if err != nil {
+				t.Fatalf("streaming PackedSumsInto: %v", err)
+			}
+			if !reflect.DeepEqual(gotMax, wantMax) || !reflect.DeepEqual(gotMin, wantMin) {
+				t.Fatalf("trial %d includeMin=%v: streaming packed sums differ from flat", trial, includeMin)
+			}
+		}
+	}
+}
+
+// TestPackedBoundedLossless drives the screened path with a threshold
+// check and verifies (a) surviving entries carry bit-identical sums and
+// (b) no entry the exact bound would keep is ever pruned.
+func TestPackedBoundedLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	floorOf := func(tm vocab.TermID) float64 { return float64(tm%3) / 8 }
+	for trial := 0; trial < 80; trial++ {
+		nEntries := 1 + rng.Intn(48)
+		f := randomFile(rng, 1+rng.Intn(16), 1+rng.Intn(24), nEntries)
+		var maxTerms, minTerms []vocab.TermID
+		for tm := 0; tm < 60; tm += 1 + rng.Intn(3) {
+			if rng.Intn(2) == 0 {
+				maxTerms = append(maxTerms, vocab.TermID(tm))
+			}
+			if rng.Intn(3) == 0 {
+				minTerms = append(minTerms, vocab.TermID(tm))
+			}
+		}
+		ref, err := Decode(f.Encode(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMax, wantMin, err := ref.SumsInto(nEntries, maxTerms, minTerms, floorOf, &SumScratch{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		threshold := 0.0
+		for _, v := range wantMax {
+			threshold += v
+		}
+		threshold /= float64(len(wantMax)) // prune roughly half the entries
+		check := func(entry int, optMaxSum float64) bool { return optMaxSum < threshold }
+
+		buf := f.EncodePacked(true)
+		pf, err := DecodePacked(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			var gotMax, gotMin []float64
+			var pruned []bool
+			if pass == 0 {
+				gotMax, gotMin, pruned, err = pf.SumsBounded(nEntries, maxTerms, minTerms, floorOf, &SumScratch{}, check)
+			} else {
+				gotMax, gotMin, pruned, err = PackedSumsBounded(buf, nEntries, maxTerms, minTerms, floorOf, &SumScratch{}, check)
+			}
+			if err != nil {
+				t.Fatalf("SumsBounded pass %d: %v", pass, err)
+			}
+			for i := range wantMax {
+				if pruned != nil && pruned[i] {
+					// Lossless: a pruned entry must fail the exact check too.
+					if !check(i, wantMax[i]) {
+						t.Fatalf("trial %d: entry %d pruned but exact bound %v >= threshold %v", trial, i, wantMax[i], threshold)
+					}
+					continue
+				}
+				if gotMax[i] != wantMax[i] || gotMin[i] != wantMin[i] {
+					t.Fatalf("trial %d pass %d: surviving entry %d sums differ: got (%v,%v) want (%v,%v)",
+						trial, pass, i, gotMax[i], gotMin[i], wantMax[i], wantMin[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackedMemBytesSmallerThanFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := randomFile(rng, 40, 16, 32)
+	pf, err := DecodePacked(f.EncodePacked(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Decode(f.Encode(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.MemBytes() >= flat.MemBytes() {
+		t.Fatalf("packed resident %d bytes not smaller than flat %d", pf.MemBytes(), flat.MemBytes())
+	}
+	if got := MaxDecodedBytes(f.EncodePacked(true)); got < pf.MemBytes() {
+		t.Fatalf("MaxDecodedBytes %d under-estimates packed MemBytes %d", got, pf.MemBytes())
+	}
+}
+
+func TestDecodePackedRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := randomFile(rng, 6, 20, 40)
+	buf := f.EncodePacked(true)
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x5a
+		// Must never panic; errors (or a successful parse of a still-valid
+		// mutation) are both acceptable.
+		if pf, err := DecodePacked(mut); err == nil {
+			if _, err := pf.Unpack(); err != nil {
+				t.Fatalf("validated packed file failed to unpack: %v", err)
+			}
+		}
+	}
+}

@@ -114,6 +114,13 @@ func (m *mutation) freeze() *Tree {
 	records, pages := m.retired.Apply(base.sh.decoded, base.sh.pager)
 	base.sh.retiredRecords.Add(records)
 	base.sh.retiredPages.Add(pages)
+	if base.sh.reclaim != nil && m.retired.Len() > 0 {
+		// Queue the retired records for page reuse; ReclaimRetired frees
+		// them once no pinned snapshot below this epoch remains. Only
+		// enqueued here — reclaiming before the facade publishes nt would
+		// starve readers racing TryPin against an unpublished epoch.
+		base.sh.pending = append(base.sh.pending, pendingRetire{epoch: nt.epoch, ids: m.retired.IDs()})
+	}
 	return nt
 }
 

@@ -23,7 +23,18 @@ func (t *Tree) EncodeMeta() []byte {
 	for id := int32(0); int(id) < t.nodes.n; id++ {
 		buf = storage.AppendUvarint(buf, uint64(t.nodes.page(id)+1)) // storage.InvalidPage (-1) → 0
 	}
+	// Trailing flags, appended after the original fields so metadata
+	// written before the packed layout existed still decodes (Restore
+	// treats absence as all-flags-zero, i.e. flat postings).
+	buf = storage.AppendUvarint(buf, boolFlag(t.sh.packed))
 	return buf
+}
+
+func boolFlag(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Restore reconstructs a Tree over a backend already holding its records,
@@ -64,6 +75,13 @@ func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, 
 	if int(rootID) >= numNodes {
 		return nil, fmt.Errorf("irtree: corrupt tree metadata: root %d with %d nodes", rootID, numNodes)
 	}
+	packed := false
+	if d.Remaining() > 0 { // trailing flags absent in pre-packed metadata
+		packed = d.Uvarint() == 1
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("irtree: corrupt tree metadata: %w", err)
+		}
+	}
 
 	sh := &shared{
 		kind:      kind,
@@ -71,8 +89,12 @@ func Restore(ds *dataset.Dataset, model textrel.Model, backend storage.Backend, 
 		pager:     backend,
 		io:        &storage.IOCounter{},
 		cfgFanout: fanout,
+		packed:    packed,
+		pins:      storage.NewEpochPins(),
 	}
+	sh.reclaim, _ = sh.pager.(storage.Reclaimer)
 	sh.store = invfile.NewStore(sh.pager, sh.io)
+	sh.store.UsePacked(packed)
 	if cacheCapacity > 0 {
 		sh.cache = storage.NewBufferPool(sh.pager, cacheCapacity)
 	}

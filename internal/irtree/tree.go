@@ -59,6 +59,11 @@ type Config struct {
 	// like buffer-pool hits); zero keeps every read a decode — the
 	// Section 8 accounting setting the experiments run under.
 	DecodedCacheBytes int64
+	// PackedPostings stores inverted files in the block-max packed layout
+	// (invfile versions 3/4) instead of the flat v1/v2 one: smaller
+	// records, smaller resident cache entries, and block-skip screening on
+	// the traversal hot path. Results are byte-identical either way.
+	PackedPostings bool
 }
 
 // shared is the state every snapshot of one index has in common: the
@@ -77,14 +82,33 @@ type shared struct {
 	decoded *storage.DecodedCache // nil when DecodedCacheBytes == 0
 
 	cfgFanout int
+	packed    bool // inverted files stored in the packed layout
 
-	// Retirement ledger: records superseded by published mutations. The
-	// pager is append-only, so retired records are never freed — older
-	// snapshots keep reading them — but their decoded-cache entries are
-	// evicted at publish and these counters report the accumulated
-	// garbage a future compaction would reclaim.
+	// Retirement ledger: records superseded by published mutations. Their
+	// decoded-cache entries are evicted at publish and these counters
+	// report the accumulated garbage. When the backend supports
+	// reclamation (the in-memory pager), retired sets are additionally
+	// queued on pending and freed by ReclaimRetired once no pinned
+	// snapshot can still read them; otherwise they wait for Save/Compact.
 	retiredRecords atomic.Int64
 	retiredPages   atomic.Int64
+
+	// pins tracks snapshot epochs currently held by readers; its floor is
+	// the oldest epoch a new reader may still pin.
+	pins *storage.EpochPins
+	// reclaim is the backend's page-reuse hook, nil when the backend is
+	// append-only (FilePager).
+	reclaim storage.Reclaimer
+	// pending holds retired record sets not yet reclaimable, ascending by
+	// epoch. Writer-owned (guarded by the facade's writer mutex).
+	pending []pendingRetire
+}
+
+// pendingRetire is one published mutation's retired records: they become
+// reclaimable once every pin below epoch is gone.
+type pendingRetire struct {
+	epoch uint64
+	ids   []storage.PageID
 }
 
 // Tree is one immutable snapshot of a disk-resident IR-tree or MIR-tree
@@ -135,8 +159,12 @@ func Build(ds *dataset.Dataset, model textrel.Model, cfg Config) *Tree {
 		pager:     storage.NewPager(),
 		io:        &storage.IOCounter{},
 		cfgFanout: fanout,
+		packed:    cfg.PackedPostings,
+		pins:      storage.NewEpochPins(),
 	}
+	sh.reclaim, _ = sh.pager.(storage.Reclaimer)
 	sh.store = invfile.NewStore(sh.pager, sh.io)
+	sh.store.UsePacked(cfg.PackedPostings)
 	if cfg.CacheCapacity > 0 {
 		sh.cache = storage.NewBufferPool(sh.pager, cfg.CacheCapacity)
 	}
@@ -341,16 +369,36 @@ func (t *Tree) readInvBytes(id storage.PageID) ([]byte, error) {
 // simulated I/O per 4 kB block (pool and decoded-cache hits charge
 // nothing). The returned file may be shared through the decoded cache and
 // must be treated as immutable; the insert path uses readInvFileFresh.
+// For packed indexes the cache holds the compact *invfile.PackedFile and
+// this accessor unpacks a private flat copy per call — the materializing
+// baseline paths that need it are off the shared-traversal hot path.
 func (t *Tree) ReadInvFile(node *NodeData) (*invfile.File, error) {
 	if v, ok := t.sh.decoded.Get(node.InvID); ok {
-		return v.(*invfile.File), nil
+		switch f := v.(type) {
+		case *invfile.File:
+			return f, nil
+		case *invfile.PackedFile:
+			return f.Unpack()
+		}
 	}
-	f, err := t.readInvFileFresh(node)
+	if !t.sh.packed {
+		f, err := t.readInvFileFresh(node)
+		if err != nil {
+			return nil, err
+		}
+		t.sh.decoded.Put(node.InvID, f, f.MemBytes())
+		return f, nil
+	}
+	buf, err := t.readInvBytes(node.InvID)
 	if err != nil {
 		return nil, err
 	}
-	t.sh.decoded.Put(node.InvID, f, f.MemBytes())
-	return f, nil
+	pf, err := invfile.DecodePacked(buf)
+	if err != nil {
+		return nil, err
+	}
+	t.sh.decoded.Put(node.InvID, pf, pf.MemBytes())
+	return pf.Unpack()
 }
 
 // readInvFileFresh decodes a private copy of a node's inverted file,
@@ -384,22 +432,57 @@ func (t *Tree) ReadInvSums(node *NodeData, maxTerms, minTerms []vocab.TermID) (m
 // fused byte-wise scan instead (decoding only the wanted terms), so
 // oversized nodes never pay a futile full decode per visit.
 func (t *Tree) ReadInvSumsScratch(node *NodeData, maxTerms, minTerms []vocab.TermID, scratch *invfile.SumScratch) (maxSums, minSums []float64, err error) {
+	maxSums, minSums, _, err = t.ReadInvSumsBounded(node, maxTerms, minTerms, scratch, nil)
+	return maxSums, minSums, err
+}
+
+// ReadInvSumsBounded is ReadInvSumsScratch with an optional screen for
+// packed indexes: when check is non-nil and the node's inverted file is
+// packed, check is called once per entry with an optimistic upper bound
+// on its max sum computed from block headers alone; entries it rejects
+// are marked in pruned and their exact sums are never computed — whole
+// posting blocks are skipped when every entry they cover is pruned. The
+// screen is lossless: a pruned entry is guaranteed to fail the same check
+// against its exact max sum. pruned is nil when nothing was pruned (flat
+// layouts, nil check, or no entry rejected); positions not marked pruned
+// are bit-identical to the flat path's sums.
+func (t *Tree) ReadInvSumsBounded(node *NodeData, maxTerms, minTerms []vocab.TermID, scratch *invfile.SumScratch, check func(entry int, optMaxSum float64) bool) (maxSums, minSums []float64, pruned []bool, err error) {
+	floorOf := t.sh.model.FloorWeight
 	if v, ok := t.sh.decoded.Get(node.InvID); ok {
-		return v.(*invfile.File).SumsInto(len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
+		switch f := v.(type) {
+		case *invfile.File:
+			maxSums, minSums, err = f.SumsInto(len(node.Entries), maxTerms, minTerms, floorOf, scratch)
+			return maxSums, minSums, nil, err
+		case *invfile.PackedFile:
+			return f.SumsBounded(len(node.Entries), maxTerms, minTerms, floorOf, scratch, check)
+		}
 	}
 	buf, err := t.readInvBytes(node.InvID)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if t.sh.decoded.FitsBudget(invfile.MaxDecodedBytes(len(buf))) {
+	if invfile.IsPacked(buf) {
+		if t.sh.decoded.FitsBudget(invfile.MaxDecodedBytes(buf)) {
+			pf, err := invfile.DecodePacked(buf)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			t.sh.decoded.Put(node.InvID, pf, pf.MemBytes())
+			return pf.SumsBounded(len(node.Entries), maxTerms, minTerms, floorOf, scratch, check)
+		}
+		return invfile.PackedSumsBounded(buf, len(node.Entries), maxTerms, minTerms, floorOf, scratch, check)
+	}
+	if t.sh.decoded.FitsBudget(invfile.MaxDecodedBytes(buf)) {
 		f, err := invfile.Decode(buf)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		t.sh.decoded.Put(node.InvID, f, f.MemBytes())
-		return f.SumsInto(len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
+		maxSums, minSums, err = f.SumsInto(len(node.Entries), maxTerms, minTerms, floorOf, scratch)
+		return maxSums, minSums, nil, err
 	}
-	return invfile.DecodeSumsInto(buf, len(node.Entries), maxTerms, minTerms, t.sh.model.FloorWeight, scratch)
+	maxSums, minSums, err = invfile.DecodeSumsInto(buf, len(node.Entries), maxTerms, minTerms, floorOf, scratch)
+	return maxSums, minSums, nil, err
 }
 
 // ResetCache drops all buffered pages and decoded objects — a cold-query
@@ -423,4 +506,55 @@ func (t *Tree) CacheStats() (hits, misses int64) {
 // no decoded cache is configured).
 func (t *Tree) DecodedCacheStats() storage.DecodedCacheStats {
 	return t.sh.decoded.Stats()
+}
+
+// PackedPostings reports whether the index stores its inverted files in
+// the packed block-max layout.
+func (t *Tree) PackedPostings() bool { return t.sh.packed }
+
+// TryPin registers a reader on this snapshot's epoch, keeping the records
+// it references safe from reclamation until Unpin. It fails when the
+// reclamation floor has already passed the epoch — the facade then simply
+// reloads the latest published snapshot and retries, which terminates
+// because the floor never passes the newest publication.
+func (t *Tree) TryPin() bool { return t.sh.pins.TryPin(t.epoch) }
+
+// Unpin releases a TryPin. Each successful TryPin must be matched by
+// exactly one Unpin.
+func (t *Tree) Unpin() { t.sh.pins.Unpin(t.epoch) }
+
+// ReclaimRetired frees the pending retired record sets every possible
+// reader is past: it advances the pin floor to the minimum of this
+// snapshot's epoch and the oldest live pin, then returns the pages of all
+// sets published at or below the floor to the backend for reuse. Call
+// from the writer only (under the facade's writer mutex) and only after
+// this snapshot has been published — advancing the floor to an
+// unpublished epoch would starve new readers. No-op when the backend is
+// append-only.
+func (t *Tree) ReclaimRetired() {
+	sh := t.sh
+	if sh.reclaim == nil || len(sh.pending) == 0 {
+		return
+	}
+	floor := sh.pins.AdvanceFloor(t.epoch)
+	n := 0
+	for ; n < len(sh.pending) && sh.pending[n].epoch <= floor; n++ {
+		set := sh.pending[n]
+		var pages int64
+		for _, id := range set.ids {
+			pages += int64(sh.pager.RecordPages(id))
+			// Evict again at reclaim time: a reader pinned on an older
+			// epoch may have re-inserted this record's decode after the
+			// publish-time eviction. With the floor at or past the
+			// retiring epoch no such reader remains, so the entry cannot
+			// reappear — and the address is now free to be reused.
+			sh.decoded.Delete(id)
+		}
+		sh.reclaim.Reclaim(set.ids)
+		sh.retiredRecords.Add(-int64(len(set.ids)))
+		sh.retiredPages.Add(-pages)
+	}
+	if n > 0 {
+		sh.pending = append(sh.pending[:0], sh.pending[n:]...)
+	}
 }

@@ -35,9 +35,12 @@ import (
 // masterVersion is the encoding version of the master record, separate
 // from the file-level storage.FormatVersion: the file format governs the
 // pager layout, this governs the index payload. Version 2 appends the
-// deleted-object id list; version 1 files (no deletions possible when
-// they were written) are still accepted.
-const masterVersion = 2
+// deleted-object id list; version 3 indexes may store block-max packed
+// inverted files (flagged in the tree metadata) and may contain one-page
+// pad records where the in-memory pager had reclaimed pages. Version 1
+// and 2 files are still accepted — their tree metadata carries no codec
+// flag, which decodes as the flat layout they were written with.
+const masterVersion = 3
 
 // Index is the persistable state of one built index: the measure
 // parameters the facade's Options carry, the dataset, and the object
@@ -123,14 +126,26 @@ func Save(path string, ix *Index) (err error) {
 			records = records[:len(records)-1]
 		}
 	}
+	// The source may have holes where the pager reclaimed retired records
+	// (the destination file pager is strictly append-only): pad each hole
+	// with one-page empty records so every live record keeps its address.
+	next := storage.PageID(0)
 	for _, id := range records {
 		data, rerr := src.ReadRecord(id)
 		if rerr != nil {
 			return fmt.Errorf("persist: reading record %d: %w", id, rerr)
 		}
+		for next < id && fp.Err() == nil {
+			next = fp.WriteRecord(nil) + 1
+		}
 		if got := fp.WriteRecord(data); got != id && fp.Err() == nil {
 			return fmt.Errorf("persist: record %d landed at page %d (non-contiguous source)", id, got)
 		}
+		pages := (len(data) + storage.PageSize - 1) / storage.PageSize
+		if pages == 0 {
+			pages = 1
+		}
+		next = id + storage.PageID(pages)
 	}
 	root := fp.WriteRecord(encodeMaster(ix))
 	if werr := fp.Err(); werr != nil {
@@ -290,6 +305,12 @@ func decodeMaster(buf []byte) (*Index, error) {
 	for i := uint64(0); i < numObjects && d.Err() == nil; i++ {
 		x, y := d.Float64(), d.Float64()
 		unique := d.Uvarint()
+		// Each unique term takes ≥2 encoded bytes (delta + frequency); a
+		// larger claim is corruption and must be caught before it becomes
+		// a gigantic map allocation hint.
+		if d.Err() == nil && unique > uint64(d.Remaining())/2 {
+			return nil, fmt.Errorf("corrupt master record: object %d claims %d unique terms in %d remaining bytes", i, unique, d.Remaining())
+		}
 		tf := make(map[vocab.TermID]int32, unique)
 		prev := vocab.TermID(0)
 		for j := uint64(0); j < unique && d.Err() == nil; j++ {

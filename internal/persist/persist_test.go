@@ -16,7 +16,7 @@ import (
 	"repro/internal/vocab"
 )
 
-func testIndex(t *testing.T) *Index {
+func testIndex(t testing.TB) *Index {
 	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	v := vocab.New()

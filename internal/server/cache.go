@@ -28,6 +28,7 @@ type sessionCache struct {
 type cacheEntry struct {
 	key   string
 	ready chan struct{} // closed when sess/err are set
+	done  bool          // set under the cache mutex once the build finished
 	sess  *maxbrstknn.Session
 	err   error
 }
@@ -92,26 +93,47 @@ func (c *sessionCache) get(key string, build func() (*maxbrstknn.Session, error)
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	el := c.order.PushFront(e)
 	c.entries[key] = el
-	for c.capacity > 0 && c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	c.evictLocked()
 	c.mu.Unlock()
 
 	e.sess, e.err = build()
-	close(e.ready)
+	c.mu.Lock()
+	e.done = true
 	if e.err != nil {
-		c.mu.Lock()
 		// Only remove our own entry (it may already have been evicted,
-		// or even replaced after an eviction).
+		// or even replaced after an eviction). Errors are not cached.
 		if cur, ok := c.entries[key]; ok && cur == el {
 			c.order.Remove(el)
 			delete(c.entries, key)
 		}
-		c.mu.Unlock()
+	} else {
+		// The entry became evictable only now; settle any overshoot the
+		// in-flight protection allowed.
+		c.evictLocked()
 	}
+	c.mu.Unlock()
+	close(e.ready)
 	return e.sess, e.err
+}
+
+// evictLocked trims the LRU to capacity, never evicting an entry whose
+// build is still in flight: evicting one would detach waiters joined to
+// its ready channel while a later request for the same key starts a
+// duplicate build — the singleflight guarantee would silently break. The
+// cache may therefore overshoot capacity while every entry is building;
+// each build settles the debt when it finishes.
+func (c *sessionCache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for el := c.order.Back(); el != nil && c.order.Len() > c.capacity; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); e.done {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = prev
+	}
 }
 
 // stats returns the current size and cumulative hit/miss counts.

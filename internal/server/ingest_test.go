@@ -102,8 +102,11 @@ func TestMutationEndpoints(t *testing.T) {
 	if stats.Ingest.Epoch != 3 || stats.Ingest.LiveObjects != 120 || stats.Ingest.TotalObjects != 122 {
 		t.Fatalf("/stats ingest %+v, want epoch 3, 120 live of 122 allocated", stats.Ingest)
 	}
-	if stats.Ingest.RetiredRecords == 0 || stats.Ingest.RetiredPages == 0 {
-		t.Fatalf("/stats ingest %+v, want nonzero retired counters after mutations", stats.Ingest)
+	// With no session pinning an old epoch, the writer reclaims every
+	// retired record right after publishing, so the counters report zero
+	// un-reclaimed garbage (they counted upward before page reuse existed).
+	if stats.Ingest.RetiredRecords != 0 || stats.Ingest.RetiredPages != 0 {
+		t.Fatalf("/stats ingest %+v, want retired counters reclaimed to zero", stats.Ingest)
 	}
 }
 

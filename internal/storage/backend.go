@@ -33,6 +33,16 @@ type Backend interface {
 	Records() []PageID
 }
 
+// Reclaimer is implemented by backends that can take back the pages of
+// records no reader can reference anymore and reuse them for future
+// writes. The in-memory Pager implements it; the FilePager stays
+// append-only (its records are the on-disk format). Reclaim carries the
+// same exclusivity requirement as WriteRecord, plus the caller's promise
+// that no reader holds — or can obtain — the freed record addresses.
+type Reclaimer interface {
+	Reclaim(ids []PageID)
+}
+
 // ReadStats counts physical record reads served by a backend — the
 // real-I/O side of the ledger, reported next to the simulated-I/O counter.
 // The in-memory Pager performs no physical reads and reports zeros.

@@ -1,0 +1,73 @@
+package storage
+
+import "sync"
+
+// EpochPins tracks which snapshot epochs still have live readers, and the
+// reclamation floor — the oldest epoch a new reader may still pin. It is
+// the coordination point that lets the writer reuse retired pages without
+// ever blocking readers: a reader pins the epoch of the snapshot it
+// loaded (retrying on the newest snapshot if the floor already passed
+// it), and the writer advances the floor to the oldest live pin before
+// freeing anything a snapshot below the floor could reference.
+//
+// The mutex is uncontended in practice: readers touch it once per
+// query/session (not per node read) and the writer once per publish.
+type EpochPins struct {
+	mu    sync.Mutex
+	pins  map[uint64]int
+	floor uint64
+}
+
+// NewEpochPins returns an empty pin table with the floor at epoch 0.
+func NewEpochPins() *EpochPins {
+	return &EpochPins{pins: make(map[uint64]int)}
+}
+
+// TryPin registers a reader on epoch e. It fails when the floor has
+// already passed e — records referenced by that epoch's snapshot may
+// already be reused, so the caller must reload a newer snapshot.
+func (p *EpochPins) TryPin(e uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e < p.floor {
+		return false
+	}
+	p.pins[e]++
+	return true
+}
+
+// Unpin releases one TryPin of epoch e.
+func (p *EpochPins) Unpin(e uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := p.pins[e]; n > 1 {
+		p.pins[e] = n - 1
+	} else {
+		delete(p.pins, e)
+	}
+}
+
+// AdvanceFloor raises the floor to min(target, oldest live pin) — never
+// lowering it — and returns the resulting floor. The writer passes its
+// latest published epoch as target.
+func (p *EpochPins) AdvanceFloor(target uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := target
+	for e := range p.pins {
+		if e < m {
+			m = e
+		}
+	}
+	if m > p.floor {
+		p.floor = m
+	}
+	return p.floor
+}
+
+// Floor returns the current reclamation floor.
+func (p *EpochPins) Floor() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.floor
+}

@@ -32,21 +32,40 @@ const InvalidPage PageID = -1
 // observes a PageID (through a published tree snapshot) is guaranteed to
 // observe the pages behind it. Readers never block on the writer and the
 // writer never waits for readers — the invariant the copy-on-write index
-// snapshots are built on. WriteRecord itself requires external
+// snapshots are built on. WriteRecord and Reclaim require external
 // single-writer serialization (the facade's writer mutex provides it).
+//
+// Reclaim weakens the pure append-only picture: slots of records every
+// reader is provably past may be rewritten in place and reused by later
+// WriteRecords. Readers only ever index pages behind addresses they took
+// from a published snapshot — which by the reclamation protocol never
+// include freed slots — so per-id reads stay lock-free and safe; only
+// full scans (Records) join WriteRecord on the writer side.
 type Pager struct {
 	state atomic.Pointer[pagerState]
+	free  []pageRun // coalesced free page runs, ascending; writer-owned
+}
+
+// pageRun is one maximal run of reclaimed, reusable pages.
+type pageRun struct {
+	start PageID
+	n     int
 }
 
 // pagerState is one immutable publication of the pager's contents. The
 // slices grow append-only: a successor state may share the same backing
-// arrays with more elements, but elements below any previously published
-// length are never rewritten, so readers indexing within their acquired
-// state's length never observe a torn or reused entry.
+// arrays with more elements. Elements below a previously published length
+// are rewritten only by Reclaim (marking freed slots) and by WriteRecord
+// reusing a freed run — slots the reclamation protocol guarantees no
+// reader can index — so readers never observe a torn or reused entry.
 type pagerState struct {
 	pages  [][]byte
-	recLen []int64 // parallel to pages: record byte length at its first page, else -1
+	recLen []int64 // parallel to pages: record byte length at its first page, else -1 (continuation) / -2 (freed)
 }
+
+// freedPage marks a reclaimed page slot in recLen: not a record start, not
+// a continuation — readable by no one until a future write reuses it.
+const freedPage = -2
 
 // NewPager returns an empty in-memory pager.
 func NewPager() *Pager {
@@ -55,36 +74,111 @@ func NewPager() *Pager {
 	return p
 }
 
-// WriteRecord appends data as a new record and returns its PageID. The
+// WriteRecord writes data as a new record and returns its PageID. The
 // record occupies ⌈len(data)/PageSize⌉ pages (at least one, so that empty
-// records still have an address).
+// records still have an address), carved from the first reclaimed run
+// that fits, or appended when none does.
 func (p *Pager) WriteRecord(data []byte) PageID {
 	st := p.state.Load()
-	id := PageID(len(st.pages))
 	n := (len(data) + PageSize - 1) / PageSize
 	if n == 0 {
 		n = 1
 	}
 	pages, recLen := st.pages, st.recLen
+	id := PageID(-1)
+	for fi := range p.free {
+		if p.free[fi].n >= n {
+			id = p.free[fi].start
+			if p.free[fi].n == n {
+				p.free = append(p.free[:fi], p.free[fi+1:]...)
+			} else {
+				p.free[fi].start += PageID(n)
+				p.free[fi].n -= n
+			}
+			break
+		}
+	}
+	append_ := id < 0
+	if append_ {
+		id = PageID(len(pages))
+	}
 	for i := 0; i < n; i++ {
 		page := make([]byte, PageSize)
 		lo := i * PageSize
-		hi := lo + PageSize
-		if hi > len(data) {
-			hi = len(data)
-		}
+		hi := min(lo+PageSize, len(data))
 		if lo < len(data) {
 			copy(page, data[lo:hi])
 		}
-		pages = append(pages, page)
+		length := int64(-1)
 		if i == 0 {
-			recLen = append(recLen, int64(len(data)))
+			length = int64(len(data))
+		}
+		if append_ {
+			pages = append(pages, page)
+			recLen = append(recLen, length)
 		} else {
-			recLen = append(recLen, -1)
+			pages[int(id)+i] = page
+			recLen[int(id)+i] = length
 		}
 	}
 	p.state.Store(&pagerState{pages: pages, recLen: recLen})
 	return id
+}
+
+// Reclaim returns the pages of the given records to the free pool for
+// reuse by future WriteRecords. Callers must guarantee no reader holds or
+// can obtain the freed addresses (the epoch-pin protocol); like
+// WriteRecord, Reclaim requires external single-writer serialization.
+// Unknown or already-freed ids are ignored.
+func (p *Pager) Reclaim(ids []PageID) {
+	st := p.state.Load()
+	changed := false
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(st.pages) || st.recLen[id] < 0 {
+			continue
+		}
+		n := (int(st.recLen[id]) + PageSize - 1) / PageSize
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			st.recLen[int(id)+i] = freedPage
+			st.pages[int(id)+i] = nil // release the resident 4 kB now
+		}
+		p.insertRun(pageRun{start: id, n: n})
+		changed = true
+	}
+	if changed {
+		// Republish (same backing arrays) so the in-place markers are
+		// ordered before any address a later write hands out.
+		p.state.Store(&pagerState{pages: st.pages, recLen: st.recLen})
+	}
+}
+
+// insertRun adds a freed run to the sorted free list, coalescing with
+// adjacent runs.
+func (p *Pager) insertRun(r pageRun) {
+	lo, hi := 0, len(p.free)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.free[mid].start < r.start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	p.free = append(p.free, pageRun{})
+	copy(p.free[lo+1:], p.free[lo:])
+	p.free[lo] = r
+	// Coalesce with successor, then predecessor.
+	if lo+1 < len(p.free) && p.free[lo].start+PageID(p.free[lo].n) == p.free[lo+1].start {
+		p.free[lo].n += p.free[lo+1].n
+		p.free = append(p.free[:lo+1], p.free[lo+2:]...)
+	}
+	if lo > 0 && p.free[lo-1].start+PageID(p.free[lo-1].n) == p.free[lo].start {
+		p.free[lo-1].n += p.free[lo].n
+		p.free = append(p.free[:lo], p.free[lo+1:]...)
+	}
 }
 
 // ReadRecord returns the record starting at id. The returned slice is a
@@ -195,6 +289,37 @@ func (d *Decoder) SkipPostings(cnt uint64, hasMin bool) {
 		}
 		d.off += floats
 	}
+}
+
+// Offset returns the current read position (for View/Seek round trips).
+func (d *Decoder) Offset() int { return d.off }
+
+// Seek moves the read position to off, which must come from Offset.
+func (d *Decoder) Seek(off int) {
+	if d.err != nil {
+		return
+	}
+	if off < 0 || off > len(d.buf) {
+		d.err = fmt.Errorf("storage: seek to %d outside %d-byte buffer", off, len(d.buf))
+		return
+	}
+	d.off = off
+}
+
+// View reads n raw bytes without copying. The returned slice aliases the
+// decoder's buffer: callers must not modify it and must not retain it
+// beyond the buffer's lifetime. It doubles as an allocation-free skip.
+func (d *Decoder) View(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("storage: truncated %d-byte field at offset %d", n, d.off)
+		return nil
+	}
+	out := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return out
 }
 
 // Bytes reads n raw bytes and returns them as a copy.

@@ -29,6 +29,14 @@ func (r *RetireSet) Add(id PageID) {
 // Len returns the number of records retired so far.
 func (r *RetireSet) Len() int { return len(r.ids) }
 
+// IDs returns a copy of the retired record addresses — the list a
+// reclaiming backend frees once no snapshot can still read them.
+func (r *RetireSet) IDs() []PageID {
+	out := make([]PageID, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
 // Apply evicts every retired record's decoded entry from c and returns
 // the record and page counts retired, sized through b. Call it exactly
 // once, after the successor snapshot is published. Entries evicted here

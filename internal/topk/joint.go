@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/dataset"
+	"repro/internal/geo"
 	"repro/internal/invfile"
 	"repro/internal/irtree"
 	"repro/internal/textrel"
@@ -52,14 +53,49 @@ type travCand struct {
 }
 
 // TraverseScratch holds the reusable state of one traversal — the
-// priority queues and the per-node sum buffers — so a worker running many
-// group traversals allocates them once. The zero value is ready to use;
-// a scratch must not be shared between concurrent traversals.
+// priority queues, the per-node sum buffers, and the block-skip screen
+// closure — so a worker running many group traversals allocates them
+// once. The zero value is ready to use; a scratch must not be shared
+// between concurrent traversals.
 type TraverseScratch struct {
 	sums invfile.SumScratch
 	pq   *container.Heap[travCand]
 	lo   *container.TopK[BoundedObject]
 	ro   *container.Heap[BoundedObject]
+
+	// bc parameterizes check, the entry screen handed to
+	// ReadInvSumsBounded on packed indexes. The closure is allocated once
+	// per scratch and re-pointed at the current node through bc, keeping
+	// the traversal loop allocation-free.
+	bc    boundCtx
+	check func(entry int, optMaxSum float64) bool
+}
+
+// boundCtx is the per-node state the screen closure reads: the current
+// node's entries and the group constants of the upper-bound formula.
+type boundCtx struct {
+	scorer    *textrel.Scorer
+	entries   []irtree.NodeEntry
+	mbr       geo.Rect
+	minNorm   float64
+	threshold float64
+}
+
+// screen returns the scratch's reusable check closure: an entry whose
+// optimistic upper bound (from block maxima) cannot reach the current
+// RSk(us) threshold may be skipped. Lossless: the optimistic max sum is
+// ≥ the exact one and UBText is monotone, so any entry it rejects would
+// fail the exact ub-vs-threshold test in the entry loop below too.
+func (sc *TraverseScratch) screen() func(entry int, optMaxSum float64) bool {
+	if sc.check == nil {
+		sc.check = func(entry int, optMaxSum float64) bool {
+			b := &sc.bc
+			ub := b.scorer.Alpha*b.scorer.SSMax(b.entries[entry].Rect, b.mbr) +
+				(1-b.scorer.Alpha)*(optMaxSum/b.minNorm)
+			return ub < b.threshold
+		}
+	}
+	return sc.check
 }
 
 // queues returns the scratch's three queues, emptied and re-armed for k.
@@ -137,12 +173,25 @@ func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int
 		// Fused, term-filtered decode: the node stores postings for its
 		// whole subtree vocabulary, but only the group's union and
 		// intersection terms contribute to the bounds. The sums land in
-		// the scratch buffers — no per-node allocation.
-		maxSums, minSums, err := tree.ReadInvSumsScratch(node, su.Uni, su.Int, &sc.sums)
+		// the scratch buffers — no per-node allocation. Once LO is full a
+		// threshold exists, so packed indexes additionally screen entries
+		// against the block maxima, skipping the decode of posting blocks
+		// whose entries all fail the same ub-vs-RSk test applied below
+		// (RSkSuper and lo.Full() are fixed for the whole entry loop, so
+		// the screen and the loop test agree).
+		var check func(entry int, optMaxSum float64) bool
+		if lo.Full() {
+			sc.bc = boundCtx{scorer: scorer, entries: node.Entries, mbr: su.MBR, minNorm: su.MinNorm, threshold: res.RSkSuper}
+			check = sc.screen()
+		}
+		maxSums, minSums, pruned, err := tree.ReadInvSumsBounded(node, su.Uni, su.Int, &sc.sums, check)
 		if err != nil {
 			return nil, err
 		}
 		for i, e := range node.Entries {
+			if pruned != nil && pruned[i] {
+				continue // screened out; sums not computed for this entry
+			}
 			smax := scorer.SSMax(e.Rect, su.MBR)
 			ub := scorer.Alpha*smax + (1-scorer.Alpha)*su.UBText(maxSums[i])
 			if lo.Full() && ub < res.RSkSuper {

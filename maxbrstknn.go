@@ -135,6 +135,14 @@ type Options struct {
 	// cold-accounting setting, where SimulatedIO charges every visit).
 	// Purely a performance knob — results are byte-identical either way.
 	DecodedCacheBytes int64
+	// PackedPostings stores the inverted files in the block-max packed
+	// layout: delta + bit-packed posting blocks whose headers carry the
+	// block's maximum term contribution, shrinking resident posting bytes
+	// and letting traversals skip dominated blocks without decoding them.
+	// The pruning is lossless — results are byte-identical to the flat
+	// layout — so this too is purely a performance knob. The setting is
+	// preserved by Save/Load and Compact.
+	PackedPostings bool
 }
 
 func (o Options) alpha() float64 {
@@ -244,6 +252,7 @@ func (b *Builder) Build(opts Options) (*Index, error) {
 		Kind:              irtree.MIRTree,
 		Fanout:            opts.fanout(),
 		DecodedCacheBytes: opts.decodedCacheBytes(),
+		PackedPostings:    opts.PackedPostings,
 	})
 	return newIndex(opts, model, mir, nil, 0, nil), nil
 }
@@ -366,6 +375,20 @@ func (sn *snapshot) withDeleted(id int32) []uint64 {
 // for an id that was never assigned or is already deleted.
 var ErrNoSuchObject = errors.New("maxbrstknn: no such object")
 
+// acquire loads the current snapshot and pins its epoch so the records it
+// references survive until the matching Unpin. TryPin only fails when the
+// reclamation floor already passed the loaded epoch — which implies a
+// newer snapshot has been published — so the retry loop always
+// terminates.
+func (ix *Index) acquire() *snapshot {
+	for {
+		sn := ix.snap.Load()
+		if sn.tree.TryPin() {
+			return sn
+		}
+	}
+}
+
 // scorerFor builds a scorer whose dmax covers the given extra rectangles.
 func (ix *Index) scorerFor(sn *snapshot, extra ...geo.Rect) *textrel.Scorer {
 	return &textrel.Scorer{Model: ix.model, Alpha: ix.opts.alpha(), DMax: sn.tree.Dataset().DMax(extra...)}
@@ -443,6 +466,9 @@ func (ix *Index) AddObject(x, y float64, keywords ...string) (int, error) {
 		return 0, err
 	}
 	ix.snap.Store(&snapshot{tree: tree, vocab: ix.wvocab.View(), live: sn.live + 1, del: sn.del})
+	// Reclaim only after the successor snapshot is published: advancing
+	// the pin floor first would make acquire spin against its own writer.
+	tree.ReclaimRetired()
 	return int(id), nil
 }
 
@@ -463,6 +489,7 @@ func (ix *Index) DeleteObject(id int) error {
 		return err
 	}
 	ix.snap.Store(&snapshot{tree: tree, vocab: sn.vocab, live: sn.live - 1, del: sn.withDeleted(int32(id))})
+	tree.ReclaimRetired()
 	return nil
 }
 
@@ -495,6 +522,7 @@ func (ix *Index) UpdateObject(id int, x, y float64, keywords ...string) (int, er
 		return 0, err
 	}
 	ix.snap.Store(&snapshot{tree: tree, vocab: ix.wvocab.View(), live: sn.live, del: sn.withDeleted(int32(id))})
+	tree.ReclaimRetired()
 	return int(newID), nil
 }
 
@@ -543,6 +571,7 @@ func (ix *Index) Compact() (*Index, error) {
 		Kind:              irtree.MIRTree,
 		Fanout:            ix.opts.fanout(),
 		DecodedCacheBytes: ix.opts.decodedCacheBytes(),
+		PackedPostings:    ix.opts.PackedPostings,
 	})
 	return newIndex(ix.opts, model, mir, nil, 0, nil), nil
 }
@@ -566,7 +595,8 @@ func (ix *Index) TopK(x, y float64, keywords []string, k int) ([]RankedObject, e
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
-	sn := ix.snap.Load()
+	sn := ix.acquire()
+	defer sn.tree.Unpin()
 	scorer := ix.scorerFor(sn, geo.RectFromPoint(geo.Point{X: x, Y: y}))
 	doc := sn.docFromKeywords(keywords, nil)
 	view := irtree.UserView{

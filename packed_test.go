@@ -1,0 +1,119 @@
+package maxbrstknn
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildPair builds two indexes over identical data: one flat, one with
+// block-max packed postings. Every query must answer byte-identically on
+// both — the packed codec and its skip pruning are lossless by contract.
+func buildPair(t *testing.T, n int) (flat, packed *Index) {
+	t.Helper()
+	words := []string{"sushi", "ramen", "taco", "kebab", "pasta", "curry", "pho", "bagel"}
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddObject(rng.Float64()*10, rng.Float64()*10,
+			words[rng.Intn(len(words))], words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+	}
+	var err error
+	if flat, err = b.Build(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if packed, err = b.Build(Options{PackedPostings: true}); err != nil {
+		t.Fatal(err)
+	}
+	return flat, packed
+}
+
+func comparePair(t *testing.T, flat, packed *Index, label string) {
+	t.Helper()
+	words := []string{"sushi", "taco", "pho", "bagel"}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 12; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		kws := []string{words[i%len(words)], words[(i+1)%len(words)]}
+		want, err := flat.TopK(x, y, kws, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := packed.TopK(x, y, kws, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: TopK(%v,%v,%v) differs:\n flat   %v\n packed %v", label, x, y, kws, want, got)
+		}
+	}
+	req := Request{
+		Users: []UserSpec{
+			{X: 1, Y: 1, Keywords: []string{"sushi", "pho"}},
+			{X: 8, Y: 3, Keywords: []string{"taco"}},
+			{X: 4, Y: 7, Keywords: []string{"bagel", "curry"}},
+		},
+		Locations:   [][2]float64{{2, 2}, {5, 5}, {8, 8}},
+		Keywords:    []string{"sushi", "taco", "pho", "curry"},
+		MaxKeywords: 2,
+		K:           3,
+	}
+	want, err := flat.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := packed.MaxBRSTkNN(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: MaxBRSTkNN differs:\n flat   %+v\n packed %+v", label, want, got)
+	}
+}
+
+func TestPackedPostingsEquivalence(t *testing.T) {
+	flat, packed := buildPair(t, 300)
+	comparePair(t, flat, packed, "built")
+}
+
+// Mutations must preserve equivalence: inserts re-encode touched nodes'
+// inverted files through the packed encoder.
+func TestPackedPostingsEquivalenceUnderMutation(t *testing.T) {
+	flat, packed := buildPair(t, 200)
+	for _, ix := range []*Index{flat, packed} {
+		if _, err := ix.AddObject(3.3, 4.4, "sushi", "durian"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.DeleteObject(5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.UpdateObject(17, 9.1, 0.4, "taco", "pho"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comparePair(t, flat, packed, "mutated")
+}
+
+// A packed index must round-trip through Save/Load: the codec flag rides
+// in the tree metadata (master record v3) and Load restores a tree that
+// keeps answering identically and keeps writing packed postings.
+func TestPackedPostingsSaveLoad(t *testing.T) {
+	flat, packed := buildPair(t, 250)
+	path := filepath.Join(t.TempDir(), "packed.mxbr")
+	if err := packed.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if !loaded.snap.Load().tree.PackedPostings() {
+		t.Fatal("loaded index lost the packed-postings flag")
+	}
+	if !loaded.opts.PackedPostings {
+		t.Fatal("loaded Options lost the packed-postings flag (Compact would rebuild flat)")
+	}
+	comparePair(t, flat, loaded, "loaded")
+}

@@ -1,12 +1,16 @@
 package maxbrstknn
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/irtree"
 	"repro/internal/miurtree"
 	"repro/internal/topk"
 	"repro/internal/vocab"
@@ -126,6 +130,7 @@ func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer s.Close()
 	return s.Run(req)
 }
 
@@ -159,12 +164,30 @@ func (ix *Index) MaxBRSTkNN(req Request) (Result, error) {
 // UserIndexed runs serialize against each other on uiMu while other
 // strategies proceed unblocked). Code extending those two paths to read
 // the session engine's thresholds must start taking mu.
+//
+// # Lifecycle
+//
+// The pinned epoch also pins storage: while the session lives, the
+// writer will not reuse the pages its snapshot references. Call Close
+// when done with a session so a long-lived mutating index can reclaim
+// retired pages promptly; a forgotten session releases its pin when the
+// garbage collector frees it (a cleanup is attached), so storage safety
+// never depends on Close being called. Run, RunTopL, RunMultiple and
+// JointTopKAll return ErrSessionClosed after Close; Thresholds keeps
+// answering from the prepared in-memory state.
 type Session struct {
 	ix     *Index
 	snap   *snapshot // the pinned epoch: every run reads this, never ix.snap
 	users  []dataset.User
 	k      int
 	engine *core.Engine
+
+	// pin holds the epoch pin the session was created with; closed
+	// rejects traversing calls after Close, and cleanup is the GC
+	// fallback release for sessions that are never Closed.
+	pin     *snapPin
+	closed  atomic.Bool
+	cleanup runtime.Cleanup
 
 	// unknowns is the frozen string→id registry of the cohort's unknown
 	// keywords; buildQuery layers each request's existing-keyword
@@ -186,6 +209,38 @@ type Session struct {
 	uiEngine *core.Engine
 }
 
+// ErrSessionClosed is returned (wrapped) by session queries after Close.
+var ErrSessionClosed = errors.New("maxbrstknn: session closed")
+
+// snapPin is one releasable epoch pin. It deliberately does not reference
+// the Session, so the session's GC cleanup (whose argument it is) can run.
+type snapPin struct {
+	tree *irtree.Tree
+	once sync.Once
+}
+
+// release unpins, exactly once no matter how many paths race to it
+// (explicit Close vs the GC cleanup).
+func (p *snapPin) release() { p.once.Do(p.tree.Unpin) }
+
+// Close releases the session's pin on its index snapshot, allowing the
+// writer to reclaim pages that snapshot kept alive. Idempotent and safe
+// to call concurrently with in-flight runs only after they return.
+func (s *Session) Close() error {
+	s.closed.Store(true)
+	s.cleanup.Stop()
+	s.pin.release()
+	return nil
+}
+
+// checkOpen is the guard every traversing session query runs first.
+func (s *Session) checkOpen(op string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("%w: %s", ErrSessionClosed, op)
+	}
+	return nil
+}
+
 // NewSession precomputes the thresholds for the user set via the joint
 // top-k processing of Section 5, sequentially.
 func (ix *Index) NewSession(users []UserSpec, k int) (*Session, error) {
@@ -203,7 +258,8 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	if k <= 0 {
 		return nil, fmt.Errorf("maxbrstknn: k must be positive")
 	}
-	sn := ix.snap.Load()
+	sn := ix.acquire()
+	pin := &snapPin{tree: sn.tree}
 	// One unknown-term registry spans all user documents, so distinct
 	// unknown strings get distinct ids across the whole cohort and a
 	// request's existing-keyword document (mapped through the same
@@ -221,9 +277,14 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	scorer := ix.scorerFor(sn, dataset.UsersMBR(dsUsers))
 	engine := core.NewEngine(sn.tree, scorer, dsUsers)
 	if err := engine.PrepareJointParallel(k, opts.core()); err != nil {
+		pin.release()
 		return nil, err
 	}
-	return &Session{ix: ix, snap: sn, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local}, nil
+	s := &Session{ix: ix, snap: sn, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local, pin: pin}
+	// GC fallback: a session abandoned without Close still releases its
+	// pin once unreachable, so reclamation is delayed, never blocked.
+	s.cleanup = runtime.AddCleanup(s, func(p *snapPin) { p.release() }, pin)
+	return s, nil
 }
 
 // Thresholds returns the prepared k-th score threshold of each user —
@@ -238,6 +299,9 @@ func (s *Session) Thresholds() []float64 {
 // request's Users field is ignored (the session's users apply); K must
 // match the session.
 func (s *Session) Run(req Request) (Result, error) {
+	if err := s.checkOpen("Run"); err != nil {
+		return Result{}, err
+	}
 	if req.K != s.k {
 		return Result{}, errKMismatch(req.K, s.k)
 	}
@@ -364,6 +428,9 @@ func (s *Session) buildResult(req Request, sel core.Selection, stats core.UserIn
 // traversal (Section 5) — exposed because the joint computation is, as the
 // paper notes, of independent interest.
 func (s *Session) JointTopKAll() ([][]RankedObject, error) {
+	if err := s.checkOpen("JointTopKAll"); err != nil {
+		return nil, err
+	}
 	res, err := topk.JointTopK(s.snap.tree, s.engine.Scorer, s.users, s.k)
 	if err != nil {
 		return nil, err
