@@ -5,7 +5,18 @@ SERVEADDR ?= 127.0.0.1:18080
 INGESTDIR ?= /tmp/maxbrstknn-ingest-smoke
 INGESTADDR ?= 127.0.0.1:18081
 
-.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke ci
+# Static analysis. lint-maxbr runs the project's own analyzer suite
+# (cmd/maxbrlint) over the whole tree and fails on any diagnostic — there
+# is no baseline file. lint-external adds staticcheck and govulncheck,
+# pinned by version and run via `go run` so they never enter go.mod.
+# LINT_EXTERNAL=auto (the default) probes the module proxy first and
+# skips the external tools offline; CI sets LINT_EXTERNAL=1 to force
+# them.
+LINT_EXTERNAL ?= auto
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke lint lint-maxbr lint-external ci
 
 all: ci
 
@@ -113,6 +124,27 @@ ingest-smoke:
 	@echo "ingest-smoke: ingest-vs-batch-build equivalence gate passed"
 	rm -rf $(INGESTDIR)
 
+lint: lint-maxbr lint-external
+
+# The five project-specific analyzers (snapshotonce, immutablealias,
+# pinpair, hotpathalloc, sentinelerr) plus the //maxbr:ignore directive
+# checks. Exit status 1 on any finding.
+lint-maxbr:
+	$(GO) run ./cmd/maxbrlint ./...
+
+lint-external:
+	@if [ "$(LINT_EXTERNAL)" = 0 ]; then \
+		echo "lint-external: disabled (LINT_EXTERNAL=0)"; exit 0; \
+	fi; \
+	if [ "$(LINT_EXTERNAL)" = auto ] && ! $(GO) list -m -versions honnef.co/go/tools >/dev/null 2>&1; then \
+		echo "lint-external: module proxy unreachable, skipping staticcheck + govulncheck (set LINT_EXTERNAL=1 to force)"; exit 0; \
+	fi; \
+	set -e; \
+	echo "lint-external: staticcheck $(STATICCHECK_VERSION)"; \
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	echo "lint-external: govulncheck $(GOVULNCHECK_VERSION)"; \
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
 # Bounded fuzz smoke: each codec fuzzer runs briefly (Go allows one
 # -fuzz target per invocation). The seeds assert decode↔encode fixpoints
 # and streaming-vs-decoded sum agreement; the committed testdata corpora
@@ -122,4 +154,4 @@ fuzz-smoke:
 	$(GO) test ./internal/invfile/ -run '^$$' -fuzz '^FuzzDecodeSumsInto$$' -fuzztime 10s
 	$(GO) test ./internal/persist/ -run '^$$' -fuzz '^FuzzDecodeMaster$$' -fuzztime 10s
 
-ci: build vet race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke
+ci: build vet lint race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke

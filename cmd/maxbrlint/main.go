@@ -1,0 +1,73 @@
+// Command maxbrlint runs the project's invariant analyzers over the
+// tree: a multichecker in the style of go/analysis, built on the
+// self-contained framework in internal/lint.
+//
+// Usage:
+//
+//	maxbrlint [-analyzers a,b,...] [-list] [packages...]
+//
+// With no package patterns it analyzes ./... relative to the current
+// directory. The exit status is 1 when any diagnostic survives the
+// //maxbr:ignore filter, so `make lint` and CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		names   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list the available analyzers and exit")
+		dirFlag = flag.String("C", ".", "directory to run in (module root or below)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: maxbrlint [flags] [packages...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			a := lint.AnalyzerByName(n)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "maxbrlint: unknown analyzer %q (use -list)\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint.Run(*dirFlag, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maxbrlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "maxbrlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -184,6 +184,7 @@ func answer(idx *maxbrstknn.Index, req maxbrstknn.Request, topL int) {
 		if err != nil {
 			fail(err)
 		}
+		defer session.Close()
 		ranked, err := session.RunTopL(req, topL)
 		if err != nil {
 			fail(err)

@@ -62,6 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer session.Close()
 		// Campaign A: broad keyword budget.
 		broad, err := session.Run(maxbrstknn.Request{
 			Locations:        targets,

@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 	idx.ResetIO()
 	start = time.Now()
 	all, err := session.JointTopKAll()

@@ -72,6 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 	for _, strat := range []maxbrstknn.Strategy{maxbrstknn.Exact, maxbrstknn.Approx, maxbrstknn.UserIndexed} {
 		req.Strategy = strat
 		start := time.Now()

@@ -101,15 +101,19 @@ type exactScratch struct {
 // scanUnit evaluates one unit's combinations in enumeration order,
 // returning the first selection (if any) strictly beating the floor count
 // and every earlier combination in the unit.
+//
+//maxbr:hotpath
 func (e *Engine) scanUnit(q Query, p *exactPrep, u exactUnit, sc *exactScratch) (Selection, bool) {
 	best := Selection{}
 	bestCount := p.bare.Count()
 	found := false
 	if cap(sc.combo) < u.size {
+		//maxbr:ignore hotpathalloc scratch growth, amortized: combo is retained in sc and only re-made when a wider unit arrives
 		sc.combo = make([]vocab.TermID, u.size)
 	}
 	combo := sc.combo[:u.size]
 	combo[0] = p.cand[u.lead]
+	//maxbr:ignore hotpathalloc one closure per unit, not per combination: Combinations invokes it in a loop internally
 	container.Combinations(p.cand[u.lead+1:], u.size-1, func(rest []vocab.TermID) bool {
 		copy(combo[1:], rest)
 		users := e.tupleUsersInto(q, p.li, combo, p.contested, p.alwaysIn, sc)

@@ -90,6 +90,7 @@ func Fig(cfg experiments.Config) ([]*experiments.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
 	libReq := maxbrstknn.Request{
 		Users: libUsers, Locations: locs, Keywords: kws,
 		MaxKeywords: cfg.WS, K: cfg.K,

@@ -383,6 +383,8 @@ func floorSums(maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) flo
 // caller-supplied scratch, making the warm hot path allocation-free.
 // maxTerms and minTerms must be ascending. The returned slices alias
 // scratch and stay valid only until its next use.
+//
+//maxbr:hotpath
 func (f *File) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
 	f.freeze()
 	floorMax, floorMin := floorSums(maxTerms, minTerms, floorOf)
@@ -450,6 +452,8 @@ func DecodeSums(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, flo
 // DecodeSumsInto is DecodeSums with caller-supplied scratch buffers: the
 // returned slices alias scratch and stay valid only until its next use.
 // With a reused scratch the per-node cost is allocation-free.
+//
+//maxbr:hotpath
 func DecodeSumsInto(buf []byte, nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
 	d := storage.NewDecoder(buf)
 	version := d.Uvarint()

@@ -428,6 +428,8 @@ func readF64(b []byte) float64 {
 
 // SumsInto computes the per-entry bound sums over the packed layout —
 // the packed counterpart of (*File).SumsInto, bit-identical to it.
+//
+//maxbr:hotpath
 func (pf *PackedFile) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch) (maxSums, minSums []float64, err error) {
 	maxSums, minSums, _, err = pf.SumsBounded(nEntries, maxTerms, minTerms, floorOf, scratch, nil)
 	return maxSums, minSums, err
@@ -441,6 +443,8 @@ func (pf *PackedFile) SumsInto(nEntries int, maxTerms, minTerms []vocab.TermID, 
 // all pruned are never decoded. pruned is nil when nothing was pruned (or
 // check was nil); the non-pruned positions of maxSums/minSums are
 // bit-identical to the flat path's. The returned slices alias scratch.
+//
+//maxbr:hotpath
 func (pf *PackedFile) SumsBounded(nEntries int, maxTerms, minTerms []vocab.TermID, floorOf func(vocab.TermID) float64, scratch *SumScratch, check func(entry int, optMaxSum float64) bool) (maxSums, minSums []float64, pruned []bool, err error) {
 	refs := scratch.refs[:0]
 	mi, ni := 0, 0
@@ -468,6 +472,7 @@ func (pf *PackedFile) SumsBounded(nEntries int, maxTerms, minTerms []vocab.TermI
 		if !ok {
 			continue
 		}
+		//maxbr:ignore hotpathalloc scratch growth, amortized: refs is stored back into scratch.refs below and reused across calls
 		refs = append(refs, packedTermRef{
 			off:     int(pf.offs[ti]),
 			end:     sectionEnd(pf, ti),

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerHotPathAlloc enforces the PR 5 allocation budget: functions
+// annotated //maxbr:hotpath in their doc comment are the per-query inner
+// loops whose steady-state allocation count the AllocsPerRun tests pin
+// at zero. The analyzer flags the constructs that allocate on every
+// call — append, make, new, map and slice composite literals, &T{}
+// pointer literals, function literals (closure environments), and
+// string<->[]byte/[]rune conversions — so a regression is caught at
+// lint time, before the benchmark suite runs.
+//
+// Deliberate allocations (amortized scratch growth, the result object a
+// traversal returns) are suppressed with //maxbr:ignore hotpathalloc
+// <reason>, which keeps the justification next to the allocation.
+var AnalyzerHotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags allocating constructs inside //maxbr:hotpath-annotated functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fd := range hotpathFuncs(f) {
+			if fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkHotCall(pass, name, n)
+				case *ast.CompositeLit:
+					switch pass.Info.TypeOf(n).Underlying().(type) {
+					case *types.Map:
+						pass.Report(n.Pos(), "map literal allocates in hot path %s: hoist it into a scratch struct or precompute it", name)
+					case *types.Slice:
+						pass.Report(n.Pos(), "slice literal allocates in hot path %s: reuse a scratch slice instead", name)
+					}
+				case *ast.UnaryExpr:
+					if n.Op.String() == "&" {
+						if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+							pass.Report(n.Pos(), "&T{} literal escapes and allocates in hot path %s: reuse a scratch value", name)
+						}
+					}
+				case *ast.FuncLit:
+					pass.Report(n.Pos(), "function literal in hot path %s allocates its closure environment on capture: hoist it to a reusable field or pass it in", name)
+					return false // the literal's own body is not the hot path
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Report(call.Pos(), "append in hot path %s allocates when it grows: size the scratch buffer up front", name)
+			case "make":
+				pass.Report(call.Pos(), "make in hot path %s allocates on every call: hoist the buffer into a scratch struct", name)
+			case "new":
+				pass.Report(call.Pos(), "new in hot path %s allocates on every call: reuse a scratch value", name)
+			}
+			return
+		}
+		// Conversions: string([]byte), []byte(string), []rune(string).
+		if tn, ok := info.Uses[id].(*types.TypeName); ok && len(call.Args) == 1 {
+			checkHotConversion(pass, name, call, tn.Type())
+		}
+		return
+	}
+	// []byte(s) / []rune(s): the callee is a type expression, not an Ident.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkHotConversion(pass, name, call, tv.Type)
+	}
+}
+
+// checkHotConversion flags string<->[]byte/[]rune conversions, which
+// copy the payload on every call.
+func checkHotConversion(pass *Pass, name string, call *ast.CallExpr, to types.Type) {
+	from := pass.Info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+		pass.Report(call.Pos(), "string conversion copies its payload in hot path %s: keep one representation end to end", name)
+	}
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerImmutableAlias enforces the PR 5 aliasing contract: values
+// handed out by the cache layers are shared between concurrent readers
+// and must be treated as immutable. BufferPool.Read returns the pooled
+// page buffer, DecodedCache.Get returns the cached decoded object, and
+// the invfile accessors (Terms, Postings, the ForEach callback's posting
+// slice) return the file's own flat layout. Writing through any of them
+// corrupts every other reader of the same page — a data race no test
+// reliably catches because the cache must be warm and shared.
+//
+// The analyzer taints values assigned from those sources (following
+// plain copies, re-slicings, and type assertions within the function)
+// and flags element writes, copy-into, append (which may write the
+// shared backing array), in-place sorts, and calls to known mutating
+// methods on tainted values.
+var AnalyzerImmutableAlias = &Analyzer{
+	Name: "immutablealias",
+	Doc:  "flags writes through shared values returned by BufferPool.Read, DecodedCache.Get, and the invfile accessors",
+	Run:  runImmutableAlias,
+}
+
+// sharedSources lists the functions whose results alias shared immutable
+// storage: (pkg, receiver type, method) -> index of the shared result.
+type sharedSource struct {
+	pkg, recv, name string
+	result          int
+}
+
+var sharedSources = []sharedSource{
+	{"repro/internal/storage", "BufferPool", "Read", 0},
+	{"repro/internal/storage", "DecodedCache", "Get", 0},
+	{"repro/internal/invfile", "File", "Terms", 0},
+	{"repro/internal/invfile", "File", "Postings", 0},
+}
+
+// sharedCallbacks lists functions whose callback receives a shared
+// slice: (pkg, recv, name), index of the func-literal argument, and
+// index of the shared parameter within it.
+type sharedCallback struct {
+	pkg, recv, name  string
+	argIdx, paramIdx int
+}
+
+var sharedCallbacks = []sharedCallback{
+	{"repro/internal/invfile", "File", "ForEach", 0, 1},
+}
+
+// mutatingMethods are methods that write their receiver; calling one on
+// a tainted value is a write through the alias. (pkg, recv, method).
+var mutatingMethods = [][3]string{
+	{"repro/internal/invfile", "File", "Add"},
+}
+
+// sortCalls are stdlib helpers that mutate their slice argument in
+// place: (pkg path, func name, slice arg index).
+var sortCalls = [][2]string{
+	{"sort", "Slice"}, {"sort", "SliceStable"}, {"sort", "Sort"},
+	{"slices", "Sort"}, {"slices", "SortFunc"}, {"slices", "SortStableFunc"}, {"slices", "Reverse"},
+}
+
+func runImmutableAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		funcScopes(f, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkAliasScope(pass, body, nil)
+		})
+	}
+}
+
+// checkAliasScope walks one function body with the given pre-tainted
+// objects (a ForEach callback's shared parameter) and reports writes
+// through tainted values. Statements are visited in source order; taint
+// is a simple forward set over local objects.
+func checkAliasScope(pass *Pass, body *ast.BlockStmt, pre []types.Object) {
+	tainted := map[types.Object]bool{}
+	for _, o := range pre {
+		tainted[o] = true
+	}
+	info := pass.Info
+
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil {
+				return o
+			}
+			return info.Defs[id]
+		}
+		return nil
+	}
+	// taintedExpr reports whether e denotes (or re-slices) a tainted value.
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			o := objOf(e)
+			return o != nil && tainted[o]
+		case *ast.SliceExpr:
+			return taintedExpr(e.X)
+		case *ast.IndexExpr:
+			return taintedExpr(e.X) // ps[0].F writes through ps
+		case *ast.TypeAssertExpr:
+			return taintedExpr(e.X)
+		case *ast.CallExpr:
+			if src, ok := sharedSourceOf(info, e); ok && src == 0 {
+				return true // direct use: f.Terms()[i] = ...
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint from RHS to LHS, kill on overwrite.
+			for i, lhs := range n.Lhs {
+				obj := objOf(lhs)
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				// Writes through tainted element/slice targets.
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if taintedExpr(l.X) {
+						pass.Report(n.Pos(), "write through shared value %s: results of the cache/invfile accessors are shared between concurrent readers and immutable; copy before modifying", exprString(l.X))
+					}
+				case *ast.StarExpr:
+					if taintedExpr(l.X) {
+						pass.Report(n.Pos(), "write through shared value %s: shared cache values are immutable; copy before modifying", exprString(l.X))
+					}
+				case *ast.SelectorExpr:
+					if taintedExpr(l.X) {
+						pass.Report(n.Pos(), "field write through shared value %s: shared cache values are immutable; copy before modifying", exprString(l.X))
+					}
+				}
+				if obj == nil || rhs == nil {
+					continue
+				}
+				newTaint := false
+				switch r := ast.Unparen(rhs).(type) {
+				case *ast.CallExpr:
+					if resIdx, ok := sharedSourceOf(info, r); ok {
+						// Multi-assign (v, hit, err := pool.Read(id)):
+						// taint the result at the shared index; for a
+						// single-result call, index 0.
+						if len(n.Lhs) == 1 || i == resIdx {
+							newTaint = true
+						}
+					}
+				default:
+					if taintedExpr(rhs) {
+						newTaint = true
+					}
+				}
+				if newTaint {
+					tainted[obj] = true
+				} else if n.Tok.String() == ":=" || len(n.Rhs) == len(n.Lhs) {
+					delete(tainted, obj) // overwritten with a fresh value
+				}
+			}
+		case *ast.CallExpr:
+			checkAliasCall(pass, n, taintedExpr)
+		}
+		return true
+	})
+}
+
+// checkAliasCall flags mutating calls involving tainted values and
+// recurses into shared-slice callbacks.
+func checkAliasCall(pass *Pass, call *ast.CallExpr, taintedExpr func(ast.Expr) bool) {
+	info := pass.Info
+	// Builtins: append and copy.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 && taintedExpr(call.Args[0]) {
+					pass.Report(call.Pos(), "append to shared value %s may write its shared backing array; copy the slice before growing it", exprString(call.Args[0]))
+				}
+			case "copy":
+				if len(call.Args) > 0 && taintedExpr(call.Args[0]) {
+					pass.Report(call.Pos(), "copy into shared value %s: shared cache values are immutable; allocate a private destination", exprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	// In-place sorts of a tainted slice.
+	if fn.Pkg() != nil {
+		for _, sc := range sortCalls {
+			if fn.Pkg().Path() == sc[0] && fn.Name() == sc[1] {
+				if len(call.Args) > 0 && taintedExpr(call.Args[0]) {
+					pass.Report(call.Pos(), "in-place sort of shared value %s: the accessors return pre-sorted shared slices; copy before reordering", exprString(call.Args[0]))
+				}
+				return
+			}
+		}
+	}
+	// Mutating methods on tainted receivers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		for _, mm := range mutatingMethods {
+			if matchesFunc(fn, mm[0], mm[1], mm[2]) && taintedExpr(sel.X) {
+				pass.Report(call.Pos(), "mutating method %s called on shared cached value %s; decode a private copy instead", fn.Name(), exprString(sel.X))
+			}
+		}
+	}
+	// Shared-slice callbacks: taint the callback parameter.
+	for _, cb := range sharedCallbacks {
+		if !matchesFunc(fn, cb.pkg, cb.recv, cb.name) || len(call.Args) <= cb.argIdx {
+			continue
+		}
+		if lit, ok := ast.Unparen(call.Args[cb.argIdx]).(*ast.FuncLit); ok {
+			if cb.paramIdx < len(flatParams(lit)) {
+				if obj := pass.Info.Defs[flatParams(lit)[cb.paramIdx]]; obj != nil {
+					checkAliasScope(pass, lit.Body, []types.Object{obj})
+				}
+			}
+		}
+	}
+}
+
+// sharedSourceOf reports whether call invokes a shared-value source and
+// the index of the shared result.
+func sharedSourceOf(info *types.Info, call *ast.CallExpr) (int, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, false
+	}
+	for _, s := range sharedSources {
+		if matchesFunc(fn, s.pkg, s.recv, s.name) {
+			return s.result, true
+		}
+	}
+	return 0, false
+}
+
+// flatParams flattens a func literal's parameter names.
+func flatParams(lit *ast.FuncLit) []*ast.Ident {
+	var out []*ast.Ident
+	for _, fl := range lit.Type.Params.List {
+		out = append(out, fl.Names...)
+	}
+	return out
+}
+
+func exprString(e ast.Expr) string {
+	if s := chainString(e); s != "" {
+		return s
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := &listPkg{}
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Loader type-checks module packages from source, resolving every import
+// through compiler export data produced by `go list -export`. One Loader
+// shares a file set and an import cache across all packages it loads.
+type Loader struct {
+	dir     string
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	deps    map[string]*listPkg
+	imp     types.Importer
+}
+
+// NewLoader prepares a loader rooted at dir (a directory inside the
+// module). The patterns select which packages — plus their full
+// dependency closure — get export data; "./..." covers everything.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)
+	deps, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string, len(deps)),
+		deps:    make(map[string]*listPkg, len(deps)),
+	}
+	for _, p := range deps {
+		l.deps[p.ImportPath] = p
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// Fset returns the loader's shared file set, for positioning diagnostics.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the non-standard-library packages the patterns match.
+// Packages are returned in import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(l.dir, append([]string{"-json=ImportPath,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		lp, ok := l.deps[t.ImportPath]
+		if !ok {
+			// The target was not in the loader's dependency closure (a
+			// narrower NewLoader pattern); list it with export data now.
+			fresh, err := goList(l.dir, "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard", t.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range fresh {
+				l.deps[p.ImportPath] = p
+				if p.Export != "" {
+					l.exports[p.ImportPath] = p.Export
+				}
+			}
+			lp = l.deps[t.ImportPath]
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, gf := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, gf)
+		}
+		pkg, err := l.check(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of one directory outside the go
+// tool's view — the analysistest fixture path (testdata is invisible to
+// `go list`, but its imports still resolve through the loader's export
+// data, so fixtures may use the real repro APIs).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.check("fixture/"+filepath.Base(dir), files)
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{PkgPath: importPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

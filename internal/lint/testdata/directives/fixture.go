@@ -1,0 +1,28 @@
+// Fixture for the directive mechanics: malformed //maxbr:ignore
+// comments are diagnostics of the suite itself (the "directive"
+// pseudo-analyzer), and a well-formed suppression needs an analyzer
+// name plus a reason. Expectations live in the fixture test, not in
+// comments, because the diagnostics land on the directive lines.
+package fixture
+
+import "errors"
+
+var ErrDirective = errors.New("sentinel")
+
+//maxbr:ignore
+var bareDirective = 1
+
+//maxbr:ignore nosuchanalyzer because I said so
+var unknownAnalyzer = 2
+
+//maxbr:ignore sentinelerr
+var missingReason = 3
+
+func properlySuppressed(err error) bool {
+	//maxbr:ignore sentinelerr fixture demonstrating a well-formed suppression
+	return err == ErrDirective
+}
+
+func stillCaught(err error) bool {
+	return err == ErrDirective
+}

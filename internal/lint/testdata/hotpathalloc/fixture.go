@@ -1,0 +1,77 @@
+// Fixture for the hotpathalloc analyzer: //maxbr:hotpath-annotated
+// functions must not contain allocating constructs.
+package fixture
+
+type scratch struct {
+	buf []int
+}
+
+//maxbr:hotpath
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v) // want "append in hot path hotAppend"
+}
+
+//maxbr:hotpath
+func hotMake(n int) int {
+	buf := make([]byte, n) // want "make in hot path hotMake"
+	return len(buf)
+}
+
+//maxbr:hotpath
+func hotNew() *int {
+	return new(int) // want "new in hot path hotNew"
+}
+
+//maxbr:hotpath
+func hotMapLit() int {
+	m := map[int]int{1: 2} // want "map literal allocates in hot path hotMapLit"
+	return len(m)
+}
+
+//maxbr:hotpath
+func hotSliceLit() int {
+	s := []int{1, 2, 3} // want "slice literal allocates in hot path hotSliceLit"
+	return len(s)
+}
+
+//maxbr:hotpath
+func hotPtrLit() *scratch {
+	return &scratch{} // want "literal escapes and allocates"
+}
+
+//maxbr:hotpath
+func hotClosure(xs []int) func() int {
+	return func() int { return len(xs) } // want "function literal in hot path hotClosure"
+}
+
+//maxbr:hotpath
+func hotConv(s string) []byte {
+	return []byte(s) // want "string conversion copies its payload"
+}
+
+//maxbr:hotpath
+func hotConvBack(b []byte) string {
+	return string(b) // want "string conversion copies its payload"
+}
+
+//maxbr:hotpath
+func hotClean(sc *scratch, v int) int { // negative: scratch reuse only
+	if len(sc.buf) > 0 {
+		sc.buf[0] = v
+	}
+	var sum int
+	for _, x := range sc.buf {
+		sum += x
+	}
+	return sum
+}
+
+func coldAppend(dst []int, v int) []int { // negative: not annotated
+	return append(dst, v)
+}
+
+//maxbr:hotpath
+func hotSuppressed(sc *scratch, v int) {
+	//maxbr:ignore hotpathalloc amortized scratch growth, fixture for the suppression path
+	sc.buf = append(sc.buf, v)
+}

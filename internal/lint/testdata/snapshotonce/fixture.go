@@ -1,0 +1,59 @@
+// Fixture for the snapshotonce analyzer: loading a published snapshot
+// pointer twice in one function is a torn-epoch read.
+package fixture
+
+import "sync/atomic"
+
+type snapshot struct{ epoch uint64 }
+
+type index struct {
+	snap  atomic.Pointer[snapshot]
+	stats atomic.Pointer[snapshot]
+}
+
+func doubleLoad(ix *index) uint64 {
+	a := ix.snap.Load().epoch
+	b := ix.snap.Load().epoch // want "loaded more than once in doubleLoad"
+	return a + b
+}
+
+func singleLoad(ix *index) uint64 { // negative: one load, threaded through
+	sn := ix.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return sn.epoch
+}
+
+func retryLoop(ix *index) *snapshot { // negative: one textual load re-executed
+	for {
+		if sn := ix.snap.Load(); sn != nil {
+			return sn
+		}
+	}
+}
+
+func siblingPointers(ix *index) uint64 { // negative: two distinct pointers
+	a := ix.snap.Load()
+	b := ix.stats.Load()
+	if a == nil || b == nil {
+		return 0
+	}
+	return a.epoch + b.epoch
+}
+
+func twoIndexes(a, b *index) uint64 { // negative: unrelated owners
+	x := a.snap.Load()
+	y := b.snap.Load()
+	if x == nil || y == nil {
+		return 0
+	}
+	return x.epoch + y.epoch
+}
+
+func suppressedDouble(ix *index) uint64 {
+	a := ix.snap.Load().epoch
+	//maxbr:ignore snapshotonce fixture exercising the suppression path
+	b := ix.snap.Load().epoch
+	return a + b
+}

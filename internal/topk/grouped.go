@@ -143,6 +143,8 @@ func (sc *RefineScratch) heap(k int) *container.StableTopK[irtree.Result] {
 // OneUserTopKPrunedWith is OneUserTopKPruned with caller-supplied scratch:
 // with a warm scratch the only per-user allocation left is the returned
 // Results slice itself. Results are identical to OneUserTopKPruned.
+//
+//maxbr:hotpath
 func OneUserTopKPrunedWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int, sc *RefineScratch) UserTopK {
 	hu := sc.heap(k)
 	for _, o := range tr.LO {

@@ -125,7 +125,10 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 // TraverseWith is Traverse with caller-supplied scratch: the queues and
 // per-node sum buffers are reused across calls, leaving only the returned
 // result's own slices to allocate. Results are identical to Traverse.
+//
+//maxbr:hotpath
 func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int, sc *TraverseScratch) (*TraversalResult, error) {
+	//maxbr:ignore hotpathalloc the result object is the one deliberate allocation per traversal (documented above)
 	res := &TraversalResult{RSkSuper: -math.MaxFloat64}
 	if tree.RootID() < 0 || su.NumUsers == 0 {
 		return res, nil
@@ -205,7 +208,7 @@ func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int
 	res.LO = lo.PopAscending()
 	for roHeap.Len() > 0 {
 		o, _ := roHeap.Pop()
-		res.RO = append(res.RO, o) // descending UB
+		res.RO = append(res.RO, o) //maxbr:ignore hotpathalloc result slice, sized by the traversal outcome; allocation is per query, not per node
 	}
 	return res, nil
 }
