@@ -16,7 +16,7 @@ LINT_EXTERNAL ?= auto
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke lint lint-maxbr lint-external ci
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke lint lint-maxbr lint-fix lint-external ci
 
 all: ci
 
@@ -126,11 +126,20 @@ ingest-smoke:
 
 lint: lint-maxbr lint-external
 
-# The five project-specific analyzers (snapshotonce, immutablealias,
-# pinpair, hotpathalloc, sentinelerr) plus the //maxbr:ignore directive
-# checks. Exit status 1 on any finding.
+# The nine project-specific analyzers (snapshotonce, immutablealias,
+# pinpair, hotpathalloc, sentinelerr, maporder, exhaustiveenum,
+# errwrapchain, atomicmix) plus the //maxbr:ignore directive checks.
+# Exit status 1 on any finding. -cache serves unchanged packages from
+# the incremental cache and prints hit/miss counts; a warm run over an
+# unchanged tree re-analyzes zero packages.
 lint-maxbr:
-	$(GO) run ./cmd/maxbrlint ./...
+	$(GO) run ./cmd/maxbrlint -cache ./...
+
+# Apply every analyzer's suggested fix (sorted-key map iteration, %w
+# wrapping, errors.Is rewrites), gofmt, and re-run to convergence.
+# Inspect the diff before committing.
+lint-fix:
+	$(GO) run ./cmd/maxbrlint -fix ./...
 
 lint-external:
 	@if [ "$(LINT_EXTERNAL)" = 0 ]; then \

@@ -4,14 +4,23 @@
 //
 // Usage:
 //
-//	maxbrlint [-analyzers a,b,...] [-list] [packages...]
+//	maxbrlint [-analyzers a,b,...] [-list] [-fix] [-json] [-cache] [packages...]
 //
 // With no package patterns it analyzes ./... relative to the current
 // directory. The exit status is 1 when any diagnostic survives the
 // //maxbr:ignore filter, so `make lint` and CI can gate on it directly.
+//
+// -fix applies every suggested repair to disk, gofmts the rewritten
+// files, and re-runs until the tree is stable; diagnostics that remain
+// (no fix available, or fix suppressed) are printed and still gate the
+// exit status. -json prints one diagnostic per line as a JSON object for
+// tooling. -cache serves unchanged packages from the incremental cache
+// (-cachedir overrides its location) and reports hit/miss counts on
+// stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +31,13 @@ import (
 
 func main() {
 	var (
-		names   = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list    = flag.Bool("list", false, "list the available analyzers and exit")
-		dirFlag = flag.String("C", ".", "directory to run in (module root or below)")
+		names    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list     = flag.Bool("list", false, "list the available analyzers and exit")
+		dirFlag  = flag.String("C", ".", "directory to run in (module root or below)")
+		fix      = flag.Bool("fix", false, "apply suggested fixes to disk and re-run until stable")
+		jsonOut  = flag.Bool("json", false, "print diagnostics as JSON, one object per line")
+		useCache = flag.Bool("cache", false, "reuse analysis results for unchanged packages")
+		cacheDir = flag.String("cachedir", "", "incremental cache directory (default: user cache dir, or $MAXBRLINT_CACHE)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: maxbrlint [flags] [packages...]\n\n")
@@ -58,12 +71,43 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := lint.Run(*dirFlag, patterns, analyzers)
+	var diags []lint.Diagnostic
+	var err error
+	switch {
+	case *fix:
+		// Fixing rewrites sources, so cached entries for the touched
+		// packages would be stale mid-loop: -fix always analyzes fresh.
+		var outcome *lint.FixOutcome
+		outcome, err = lint.FixDir(*dirFlag, patterns, analyzers)
+		if err == nil {
+			diags = outcome.Remaining
+			for _, f := range outcome.ChangedFiles {
+				fmt.Fprintf(os.Stderr, "maxbrlint: fixed %s\n", f)
+			}
+		}
+	case *useCache:
+		var stats *lint.CacheStats
+		diags, stats, err = lint.RunCached(*dirFlag, patterns, analyzers, *cacheDir)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "maxbrlint: cache: %d hit(s), %d miss(es)\n", stats.Hits, stats.Misses)
+		}
+	default:
+		diags, err = lint.Run(*dirFlag, patterns, analyzers)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "maxbrlint: %v\n", err)
 		os.Exit(2)
 	}
+
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(lint.DiagnosticJSON(d)); err != nil {
+				fmt.Fprintf(os.Stderr, "maxbrlint: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {

@@ -238,6 +238,8 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 // measureOf maps the experiment measure to the facade constant.
 func measureOf(cfg experiments.Config) maxbrstknn.Measure {
 	switch cfg.Measure {
+	case textrel.LM:
+		return maxbrstknn.LanguageModel
 	case textrel.TFIDF:
 		return maxbrstknn.TFIDF
 	case textrel.KO:
@@ -245,6 +247,6 @@ func measureOf(cfg experiments.Config) maxbrstknn.Measure {
 	case textrel.BM25:
 		return maxbrstknn.BM25Measure
 	default:
-		return maxbrstknn.LanguageModel
+		panic(fmt.Sprintf("serving: unknown measure kind %d", int(cfg.Measure)))
 	}
 }

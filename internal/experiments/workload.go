@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -41,10 +42,12 @@ func datasetFor(cfg Config) *dataset.Dataset {
 		c := dataset.DefaultYelpConfig(cfg.NumObjects)
 		c.Seed = cfg.Seed
 		ds = dataset.GenerateYelp(c)
-	default:
+	case Flickr:
 		c := dataset.DefaultFlickrConfig(cfg.NumObjects)
 		c.Seed = cfg.Seed
 		ds = dataset.GenerateFlickr(c)
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset kind %d", int(cfg.Dataset)))
 	}
 	dsCache[key] = ds
 	return ds

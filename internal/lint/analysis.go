@@ -41,6 +41,35 @@ type Pass struct {
 	// Report delivers one diagnostic. The suite attaches the analyzer
 	// name and applies //maxbr:ignore suppression afterwards.
 	Report func(pos token.Pos, format string, args ...any)
+
+	// ReportFix is Report with a machine-applicable repair attached.
+	// Suppressing the diagnostic suppresses the fix with it, so an
+	// explicitly ignored finding is never auto-repaired.
+	ReportFix func(pos token.Pos, fix *SuggestedFix, format string, args ...any)
+}
+
+// SuggestedFix is one machine-applicable repair for a diagnostic: a set
+// of non-overlapping textual edits in the loaded file set, plus any
+// imports the replacement text requires. The applier resolves the token
+// positions to byte offsets, applies the edits, inserts missing imports,
+// and gofmts the result — so NewText need not match the surrounding
+// indentation.
+type SuggestedFix struct {
+	// Message describes the repair ("use errors.Is", "sort keys first").
+	Message string
+	// Edits are the replacements, each within a single file. Edits of one
+	// fix must not overlap.
+	Edits []TextEdit
+	// AddImports lists import paths the NewText relies on; the applier
+	// adds each to the edited file unless already imported.
+	AddImports []string
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. A pure
+// insertion has End == Pos.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // Diagnostic is one finding, positioned in the loaded file set.
@@ -48,6 +77,27 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is the offset-resolved form of the analyzer's
+	// SuggestedFix, self-contained enough to survive the incremental
+	// cache's JSON round trip.
+	Fix *Fix
+}
+
+// Fix is a SuggestedFix resolved against the file set: every edit is a
+// filename plus byte offsets, valid as long as the file content the
+// diagnostic was computed from is unchanged.
+type Fix struct {
+	Message    string    `json:"message"`
+	Edits      []FixEdit `json:"edits"`
+	AddImports []string  `json:"add_imports,omitempty"`
+}
+
+// FixEdit replaces file bytes [Offset, End) with NewText.
+type FixEdit struct {
+	Filename string `json:"file"`
+	Offset   int    `json:"offset"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
 }
 
 // calleeFunc resolves the *types.Func a call expression invokes: a

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerAtomicMix flags struct fields that one function accesses
+// through sync/atomic free functions (&x.f passed to atomic.LoadUint64
+// and friends) while another function reads or writes the same field
+// plainly. Mixed access is the worst of both worlds: the atomic sites
+// pay the synchronization cost, and the plain sites still race — the
+// race detector only catches the interleaving if it happens during a
+// test run, and on 32-bit targets a plain read of a 64-bit counter can
+// tear even without a writer in flight. The repo's stats counters
+// (snapshot epoch, cache hit tallies) are exactly this shape, which is
+// why the check lives here rather than in a generic linter.
+//
+// The scope is cross-function: a plain access is reported when some
+// *other* function in the package touches the field atomically, because
+// that is the pattern that slips review (each function looks consistent
+// in isolation). Initialization before publication is the legitimate
+// escape hatch; annotate those sites with //maxbr:ignore atomicmix and
+// the reason.
+var AnalyzerAtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain reads/writes of struct fields that are elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+// atomicFreeFuncs are the sync/atomic package functions whose first
+// argument is the *addr being operated on.
+func isAtomicFreeFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, pre := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every field passed by address to a sync/atomic free
+	// function, with the set of functions doing so; plus the selector
+	// nodes that ARE those atomic operands, so pass 2 can skip them.
+	atomicIn := map[*types.Var]map[string]bool{}
+	operand := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		funcScopes(f, func(fname string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isAtomicFreeFunc(calleeFunc(pass.Info, call)) || len(call.Args) == 0 {
+					return true
+				}
+				ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv := fieldVar(pass.Info, sel)
+				if fv == nil {
+					return true
+				}
+				operand[sel] = true
+				if atomicIn[fv] == nil {
+					atomicIn[fv] = map[string]bool{}
+				}
+				atomicIn[fv][fname] = true
+				return true
+			})
+		})
+	}
+	if len(atomicIn) == 0 {
+		return
+	}
+
+	// Pass 2: plain selector accesses of those fields.
+	for _, f := range pass.Files {
+		funcScopes(f, func(fname string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || operand[sel] {
+					return true
+				}
+				fv := fieldVar(pass.Info, sel)
+				if fv == nil {
+					return true
+				}
+				fns := atomicIn[fv]
+				if fns == nil {
+					return true
+				}
+				others := make([]string, 0, len(fns))
+				for fn := range fns {
+					if fn != fname {
+						others = append(others, fn)
+					}
+				}
+				if len(others) == 0 {
+					return true // atomically used only within this same function: not the cross-function mix
+				}
+				sort.Strings(others)
+				pass.Report(sel.Pos(), "field %s is accessed with sync/atomic in %s but plainly here: the plain access races (and can tear); use the atomic API at every site", fv.Name(), strings.Join(others, ", "))
+				return true
+			})
+		})
+	}
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil when sel
+// is not a field selection (package qualifier, method value, …).
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

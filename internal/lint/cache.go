@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// The incremental cache makes `make lint` proportional to what changed:
+// each package's diagnostics are stored under a content key covering
+// everything that can alter an analysis result — the package's own
+// sources, the export data of its full dependency closure, the analyzer
+// suite, and the toolchain. A warm run over an unchanged tree re-analyzes
+// zero packages; editing one file re-analyzes that package plus its
+// reverse dependencies (their dep export data changed) and nothing else.
+//
+// Keys are self-validating, so invalidation is automatic and stale
+// entries are simply never read again; EvictOld keeps the directory from
+// growing without bound.
+
+// suiteVersion participates in every cache key. Bump it whenever an
+// analyzer's behavior changes in a way that should re-analyze unchanged
+// packages — message rewording counts, because stored diagnostics carry
+// the text verbatim.
+const suiteVersion = "maxbrlint/2"
+
+// CacheStats reports one RunCached invocation.
+type CacheStats struct {
+	// Hits and Misses count target packages served from / written to the
+	// cache.
+	Hits, Misses int
+}
+
+// DefaultCacheDir is where RunCached stores entries when the caller
+// passes "": $MAXBRLINT_CACHE if set, else <user cache dir>/maxbrlint.
+func DefaultCacheDir() (string, error) {
+	if env := os.Getenv("MAXBRLINT_CACHE"); env != "" {
+		return env, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("lint: resolving cache dir: %v", err)
+	}
+	return filepath.Join(base, "maxbrlint"), nil
+}
+
+// cacheEntry is the stored form of one package's analysis.
+type cacheEntry struct {
+	PkgPath     string       `json:"pkg"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// RunCached is Run with a package-granular cache rooted at cacheDir
+// ("" = DefaultCacheDir). Only cache-missed packages are type-checked;
+// hits replay their stored diagnostics, fixes included.
+func RunCached(dir string, patterns []string, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, *CacheStats, error) {
+	if cacheDir == "" {
+		var err error
+		cacheDir, err = DefaultCacheDir()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("lint: creating cache dir: %v", err)
+	}
+
+	loader, err := NewLoader(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets, err := loader.Targets(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stats := &CacheStats{}
+	exportHashes := map[string]string{}
+	var out []Diagnostic
+	for _, lp := range targets {
+		key, err := cacheKey(loader, lp, analyzers, exportHashes)
+		if err != nil {
+			return nil, nil, err
+		}
+		path := filepath.Join(cacheDir, key+".json")
+		if entry, err := readEntry(path); err == nil && entry.PkgPath == lp.ImportPath {
+			stats.Hits++
+			out = append(out, entry.Diagnostics...)
+			continue
+		}
+		stats.Misses++
+		pkg, err := loader.LoadPackage(lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags := RunAnalyzers(pkg, analyzers)
+		out = append(out, diags...)
+		if err := writeEntry(path, &cacheEntry{PkgPath: lp.ImportPath, Diagnostics: diags}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, stats, nil
+}
+
+// cacheKey hashes everything that can change lp's analysis: the suite
+// version, toolchain, analyzer names, the package's identity and source
+// bytes, and the export data of its transitive dependencies (memoized in
+// exportHashes across targets — the closure overlaps heavily).
+func cacheKey(l *Loader, lp *listPkg, analyzers []*Analyzer, exportHashes map[string]string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "suite %s\ngo %s\n", suiteVersion, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	fmt.Fprintf(h, "pkg %s\n", lp.ImportPath)
+	for _, gf := range lp.GoFiles {
+		name := filepath.Join(lp.Dir, gf)
+		fh, err := hashFile(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "src %s %s\n", name, fh)
+	}
+	deps := append([]string(nil), lp.Deps...)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		exp, ok := l.exports[dep]
+		if !ok {
+			continue // no export data listed (e.g. unsafe): nothing to hash
+		}
+		eh, ok := exportHashes[exp]
+		if !ok {
+			var err error
+			eh, err = hashFile(exp)
+			if err != nil {
+				return "", err
+			}
+			exportHashes[exp] = eh
+		}
+		fmt.Fprintf(h, "dep %s %s\n", dep, eh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hashFile(name string) (string, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return "", fmt.Errorf("lint: hashing %s: %v", name, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("lint: hashing %s: %v", name, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func readEntry(path string) (*cacheEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entry := &cacheEntry{}
+	if err := json.Unmarshal(data, entry); err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// writeEntry stores atomically (rename) so a crashed run never leaves a
+// torn entry for a later run to trust.
+func writeEntry(path string, entry *cacheEntry) error {
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("lint: writing cache entry: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("lint: writing cache entry: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTinyModule lays out a self-contained two-package module:
+// tinylint/a carries one sentinelerr finding (with a fix), tinylint/b
+// depends on a and is clean. Small enough that the cache tests stay
+// fast, real enough to exercise dependency-hash invalidation.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tinylint\n\ngo 1.24\n",
+		"a/a.go": `package a
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func IsGone(err error) bool {
+	return err == ErrGone
+}
+`,
+		"b/b.go": `package b
+
+import "tinylint/a"
+
+func Check(err error) bool { return a.IsGone(err) }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func diagJSON(t *testing.T, diags []Diagnostic) string {
+	t.Helper()
+	data, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunCachedWarmRunAnalyzesNothing pins the incremental contract:
+//
+//   - cold run: every package misses, findings (fixes included) are stored
+//   - warm run over an unchanged tree: zero packages re-analyzed, replayed
+//     diagnostics byte-identical to the fresh ones
+//   - touching one leaf package re-analyzes just that package
+//   - changing a dependency's API re-analyzes its dependents too
+func TestRunCachedWarmRunAnalyzesNothing(t *testing.T) {
+	mod := writeTinyModule(t)
+	cacheDir := t.TempDir()
+	suite := Analyzers()
+
+	cold, stats, err := RunCached(mod, []string{"./..."}, suite, cacheDir)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("cold run: %d hits / %d misses, want 0/2", stats.Hits, stats.Misses)
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "sentinelerr" || cold[0].Fix == nil {
+		t.Fatalf("cold run diagnostics: %s", diagJSON(t, cold))
+	}
+
+	warm, stats, err := RunCached(mod, []string{"./..."}, suite, cacheDir)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if stats.Hits != 2 || stats.Misses != 0 {
+		t.Fatalf("warm run: %d hits / %d misses, want 2/0 (a warm run must re-analyze zero packages)", stats.Hits, stats.Misses)
+	}
+	if diagJSON(t, warm) != diagJSON(t, cold) {
+		t.Fatalf("replayed diagnostics differ:\ncold %s\nwarm %s", diagJSON(t, cold), diagJSON(t, warm))
+	}
+
+	// A leaf edit invalidates only the edited package.
+	bPath := filepath.Join(mod, "b", "b.go")
+	b, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(b, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = RunCached(mod, []string{"./..."}, suite, cacheDir)
+	if err != nil {
+		t.Fatalf("after leaf edit: %v", err)
+	}
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("after leaf edit: %d hits / %d misses, want 1/1", stats.Hits, stats.Misses)
+	}
+
+	// An API change in a invalidates a AND its dependent b: b's key
+	// covers a's export data.
+	aPath := filepath.Join(mod, "a", "a.go")
+	a, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(a, []byte("\nfunc Extra() int { return 1 }\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, stats, err := RunCached(mod, []string{"./..."}, suite, cacheDir)
+	if err != nil {
+		t.Fatalf("after dep API change: %v", err)
+	}
+	if stats.Misses != 2 {
+		t.Fatalf("after dep API change: %d hits / %d misses, want 0/2 (dependents must re-analyze)", stats.Hits, stats.Misses)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("after dep API change diagnostics: %s", diagJSON(t, diags))
+	}
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerErrWrapChain audits the wrap chain that sentinelerr's
+// errors.Is rewrites depend on, in both directions:
+//
+//  1. A sentinel Err* value passed to fmt.Errorf under a verb other
+//     than %w is flattened to text: the returned error no longer has
+//     the sentinel in its Unwrap chain, so every errors.Is(err, ErrX)
+//     upstream silently stops matching. The fix rewrites a %v or %s
+//     verb in the format literal to %w.
+//
+//  2. errors.Is(err, <freshly constructed error>) — the target built
+//     inline with errors.New or fmt.Errorf — compares against a value
+//     nothing could ever have wrapped, so the call is constantly false.
+//     No mechanical fix: the author meant a sentinel or a string check.
+//
+// Together with sentinelerr this closes the contract: comparisons use
+// errors.Is, and wraps keep the chain intact for errors.Is to walk.
+var AnalyzerErrWrapChain = &Analyzer{
+	Name: "errwrapchain",
+	Doc:  "flags fmt.Errorf calls that flatten Err* sentinels without %w, and errors.Is against freshly built errors",
+	Run:  runErrWrapChain,
+}
+
+func runErrWrapChain(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				checkErrorfWrap(pass, call)
+			case fn.Pkg().Path() == "errors" && fn.Name() == "Is" && len(call.Args) == 2:
+				if freshErrorExpr(pass.Info, call.Args[1]) {
+					pass.Report(call.Pos(), "errors.Is against an error constructed inline is always false: nothing can have wrapped a value created here; compare against a package-level sentinel instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags sentinel Err* arguments of fmt.Errorf whose verb
+// is not %w, attaching a verb-rewrite fix when the verb is %v or %s and
+// the format string is a plain literal.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, _ := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	var formatStr string
+	haveFormat := false
+	if lit != nil && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			formatStr = s
+			haveFormat = true
+		}
+	}
+	for argIdx, arg := range call.Args[1:] {
+		name, ok := sentinelErrName(pass.Info, arg)
+		if !ok {
+			continue
+		}
+		if !haveFormat {
+			// Can't see the verbs (format built dynamically): report
+			// without a fix — dynamic formats on error paths are rare
+			// and worth eyes anyway.
+			pass.Report(arg.Pos(), "sentinel %s passed to fmt.Errorf with a non-constant format: if it is not wrapped with %%w, errors.Is(err, %s) stops matching", name, name)
+			continue
+		}
+		start, end, verb, found := verbForArg(formatStr, argIdx)
+		if !found {
+			continue // arity mismatch; go vet's printf check owns that
+		}
+		if verb == 'w' {
+			continue
+		}
+		var fix *SuggestedFix
+		if verb == 'v' || verb == 's' {
+			fix = wrapVerbFix(lit, formatStr, start, end)
+		}
+		pass.ReportFix(arg.Pos(), fix,
+			"sentinel %s is flattened by %%%c: fmt.Errorf drops it from the Unwrap chain and errors.Is(err, %s) stops matching; wrap with %%w", name, verb, name)
+	}
+}
+
+// wrapVerbFix replaces the verb specification at [start,end) of the
+// unquoted format string with %w and re-quotes the whole literal, so the
+// edit stays valid for raw and interpreted literals alike.
+func wrapVerbFix(lit *ast.BasicLit, format string, start, end int) *SuggestedFix {
+	fixed := format[:start] + "%w" + format[end:]
+	return &SuggestedFix{
+		Message: "wrap the sentinel with %w",
+		Edits:   []TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: strconv.Quote(fixed)}},
+	}
+}
+
+// verbForArg scans a fmt format string and returns the byte range
+// [start,end) and verb letter of the specification consuming argument
+// index target (0-based over the variadic args). Width/precision stars
+// consume an argument each; explicit indexes %[n]v are honored.
+func verbForArg(format string, target int) (start, end int, verb byte, found bool) {
+	argIdx := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		vStart := i
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				num = num*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && num > 0 {
+				argIdx = num - 1
+				i = j + 1
+			} else {
+				return 0, 0, 0, false // malformed; give up on this literal
+			}
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			if argIdx == target {
+				return 0, 0, 0, false // the sentinel used as a width: nonsense, vet's problem
+			}
+			argIdx++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				if argIdx == target {
+					return 0, 0, 0, false
+				}
+				argIdx++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			return 0, 0, 0, false
+		}
+		v := format[i]
+		i++
+		if argIdx == target {
+			return vStart, i, v, true
+		}
+		argIdx++
+	}
+	return 0, 0, 0, false
+}
+
+// freshErrorExpr reports whether e constructs a new error value inline:
+// a direct call to errors.New or fmt.Errorf.
+func freshErrorExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "errors":
+		return fn.Name() == "New"
+	case "fmt":
+		return fn.Name() == "Errorf"
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerExhaustiveEnum enforces the enum-switch contract the facade's
+// Strategy and measure chains rely on: a switch over a module-defined
+// enum-like type (a named non-boolean basic type with at least two
+// package-level constants) must either list every constant explicitly or
+// carry a default that fails — returns an error, panics, or exits. A
+// silent default is how the Session layer once downgraded Exhaustive to
+// Exact (the PR 4 bug class): adding a new Strategy or MeasureKind
+// constant then compiles everywhere while one forgotten switch quietly
+// routes the new value through whatever its default happened to do.
+//
+// "Fails" is judged syntactically on the default body: a return whose
+// results include a non-nil error-typed expression, a panic call, or a
+// terminating call (os.Exit, log.Fatal*, (*testing.T).Fatal*, or a
+// module helper that itself never returns, recognized by the name
+// "fail"). Switches over types declared outside this module (token.Token
+// and friends) are out of scope — their constant sets are not ours to
+// legislate.
+var AnalyzerExhaustiveEnum = &Analyzer{
+	Name: "exhaustiveenum",
+	Doc:  "flags switches over module enum types that neither cover every constant nor fail in default",
+	Run:  runExhaustiveEnum,
+}
+
+// modulePkgPrefixes scope the enum definitions this analyzer legislates:
+// the module's own packages plus the fixture pseudo-paths the test
+// loader synthesizes.
+var modulePkgPrefixes = []string{"repro", "fixture/"}
+
+func moduleDefined(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	for _, pre := range modulePkgPrefixes {
+		if p == strings.TrimSuffix(pre, "/") || strings.HasPrefix(p, pre) || strings.HasPrefix(p, strings.TrimSuffix(pre, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runExhaustiveEnum(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.Info.TypeOf(sw.Tag)
+			consts := enumConstants(tagType)
+			if len(consts) < 2 {
+				return true
+			}
+
+			covered := map[string]bool{}
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := pass.Info.Types[e]
+					if !ok || tv.Value == nil {
+						continue
+					}
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			if defaultClause != nil && failingStmts(pass.Info, defaultClause.Body) {
+				return true
+			}
+			tn := types.TypeString(tagType, types.RelativeTo(pass.Pkg))
+			if defaultClause == nil {
+				pass.Report(sw.Pos(), "switch over %s misses %s and has no default: cover every constant or add a default that returns an error, so a new constant cannot be silently misrouted", tn, strings.Join(missing, ", "))
+			} else {
+				pass.Report(sw.Pos(), "switch over %s misses %s and its default does not fail: cover every constant or make the default return an error, so a new constant cannot be silently misrouted", tn, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// enumConstants returns the package-level constants of t's exact type,
+// for module-defined named basic (non-bool) types; nil otherwise.
+// Constants are returned in declaration-name order for stable messages.
+func enumConstants(t types.Type) []*types.Const {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	obj := named.Obj()
+	if !moduleDefined(obj.Pkg()) {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), t) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Val(), out[j].Val()
+		if vi.Kind() == constant.Int && vj.Kind() == constant.Int {
+			if constant.Compare(vi, token.LSS, vj) {
+				return true
+			}
+			if constant.Compare(vi, token.EQL, vj) {
+				return out[i].Name() < out[j].Name()
+			}
+			return false
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// failingStmts reports whether the statement list unconditionally "fails"
+// somewhere: returns an error, panics, or calls a terminating function.
+// Judged shallowly — a failing statement anywhere in the list (including
+// nested blocks, excluding nested function literals) counts, which is the
+// right bias for a lint: a default that even mentions an error path was
+// written deliberately.
+func failingStmts(info *types.Info, stmts []ast.Stmt) bool {
+	failing := false
+	errType := types.Universe.Lookup("error").Type()
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if failing {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					tv, ok := info.Types[r]
+					if !ok {
+						continue
+					}
+					if tv.IsNil() {
+						continue
+					}
+					if types.AssignableTo(tv.Type, errType) && types.Implements(tv.Type, errType.Underlying().(*types.Interface)) {
+						failing = true
+					}
+				}
+			case *ast.CallExpr:
+				if terminatingCall(info, n) {
+					failing = true
+				}
+			}
+			return !failing
+		})
+		if failing {
+			return true
+		}
+	}
+	return false
+}
+
+// terminatingCall recognizes panic, os.Exit, log.Fatal*/Panic*,
+// (*testing.T/B/F).Fatal*, and the module's cmd-layer `fail` helpers.
+func terminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		case "runtime":
+			return name == "Goexit"
+		}
+	}
+	if _, recv := namedRecv(fn); recv == "T" || recv == "B" || recv == "F" || recv == "common" {
+		return strings.HasPrefix(name, "Fatal") || name == "SkipNow" || strings.HasPrefix(name, "Skip")
+	}
+	// The cmd layer's `fail(err)` wrappers os.Exit internally.
+	return name == "fail" && moduleDefined(fn.Pkg())
+}

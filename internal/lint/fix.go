@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file is the autofix engine: it turns the SuggestedFixes analyzers
+// attach to diagnostics into rewritten files. The pipeline is
+//
+//	resolveFix   SuggestedFix (token.Pos edits) -> Fix (byte offsets)
+//	ApplyFixes   one round of edits over in-memory file contents
+//	FixDir       lint -> apply -> write -> re-lint until convergence
+//
+// Edits of different fixes that overlap are not merged: the first fix
+// (by position) wins the round and the loser is retried on the next
+// iteration against the rewritten source, so conflicting repairs
+// converge instead of corrupting each other.
+
+// resolveFix converts a SuggestedFix into its offset form. Nil in, nil
+// out, so report sites can pass fixes through unconditionally.
+func resolveFix(fset *token.FileSet, fix *SuggestedFix) *Fix {
+	if fix == nil {
+		return nil
+	}
+	out := &Fix{Message: fix.Message, AddImports: append([]string(nil), fix.AddImports...)}
+	for _, e := range fix.Edits {
+		p, q := fset.Position(e.Pos), fset.Position(e.End)
+		if p.Filename == "" || p.Filename != q.Filename || q.Offset < p.Offset {
+			return nil // malformed edit: drop the whole fix, keep the diagnostic
+		}
+		out.Edits = append(out.Edits, FixEdit{
+			Filename: p.Filename,
+			Offset:   p.Offset,
+			End:      q.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	return out
+}
+
+// ApplyResult is one round of fix application.
+type ApplyResult struct {
+	// Files maps filename -> rewritten content for every file at least
+	// one edit touched this round.
+	Files map[string][]byte
+	// Applied and Deferred count whole fixes: Deferred fixes conflicted
+	// with an earlier fix this round and need a re-lint to re-anchor.
+	Applied, Deferred int
+}
+
+// ApplyFixes applies the fixes attached to diags against the given file
+// contents (read from disk for files not present in contents). Within a
+// round, fixes are applied in (file, offset) order; a fix any of whose
+// edits overlaps an already-accepted edit is deferred whole. Rewritten
+// files are gofmt-formatted; missing imports named by AddImports are
+// inserted first.
+func ApplyFixes(diags []Diagnostic, contents map[string][]byte) (*ApplyResult, error) {
+	var fixes []*Fix
+	for _, d := range diags {
+		if d.Fix != nil && len(d.Fix.Edits) > 0 {
+			fixes = append(fixes, d.Fix)
+		}
+	}
+	res := &ApplyResult{Files: map[string][]byte{}}
+	if len(fixes) == 0 {
+		return res, nil
+	}
+	sort.SliceStable(fixes, func(i, j int) bool {
+		a, b := fixes[i].Edits[0], fixes[j].Edits[0]
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+
+	// Accept fixes greedily, tracking claimed ranges per file.
+	type span struct{ off, end int }
+	claimed := map[string][]span{}
+	edits := map[string][]FixEdit{}
+	addImports := map[string]map[string]bool{}
+	overlaps := func(f FixEdit) bool {
+		for _, s := range claimed[f.Filename] {
+			// Touching ranges are fine; insertions at the same point are not.
+			if f.Offset < s.end && s.off < f.End || f.Offset == s.off && f.End == f.Offset && s.end == s.off {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fx := range fixes {
+		conflict := false
+		for _, e := range fx.Edits {
+			if overlaps(e) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			res.Deferred++
+			continue
+		}
+		for _, e := range fx.Edits {
+			claimed[e.Filename] = append(claimed[e.Filename], span{e.Offset, e.End})
+			edits[e.Filename] = append(edits[e.Filename], e)
+			if len(fx.AddImports) > 0 {
+				if addImports[e.Filename] == nil {
+					addImports[e.Filename] = map[string]bool{}
+				}
+				for _, path := range fx.AddImports {
+					addImports[e.Filename][path] = true
+				}
+			}
+		}
+		res.Applied++
+	}
+
+	for file, es := range edits {
+		src, ok := contents[file]
+		if !ok {
+			var err error
+			src, err = os.ReadFile(file)
+			if err != nil {
+				return nil, fmt.Errorf("lint: applying fixes: %v", err)
+			}
+		}
+		out, err := applyFileEdits(src, es)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", file, err)
+		}
+		if imps := addImports[file]; len(imps) > 0 {
+			paths := make([]string, 0, len(imps))
+			for p := range imps {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			out, err = insertImports(out, paths)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s: %v", file, err)
+			}
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: fixed source does not parse: %v", file, err)
+		}
+		res.Files[file] = formatted
+	}
+	return res, nil
+}
+
+// applyFileEdits applies non-overlapping edits to src, highest offset
+// first so earlier offsets stay valid.
+func applyFileEdits(src []byte, edits []FixEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Offset > edits[j].Offset })
+	out := append([]byte(nil), src...)
+	for _, e := range edits {
+		if e.Offset < 0 || e.End > len(out) || e.Offset > e.End {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file has %d bytes)", e.Offset, e.End, len(out))
+		}
+		out = append(out[:e.Offset], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out, nil
+}
+
+// insertImports adds the missing import paths to src. Paths already
+// imported are skipped; the rest land inside the first parenthesized
+// import block, or as a fresh import declaration right after the package
+// clause. The caller gofmts afterwards, so placement only needs to be
+// syntactically valid.
+func insertImports(src []byte, paths []string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	have := map[string]bool{}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+			have[p] = true
+		}
+	}
+	var missing []string
+	for _, p := range paths {
+		if !have[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return src, nil
+	}
+	var ins bytes.Buffer
+	tf := fset.File(f.Pos())
+	// Prefer the first parenthesized import block.
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT && gd.Lparen.IsValid() {
+			at := tf.Offset(gd.Lparen) + 1
+			for _, p := range missing {
+				fmt.Fprintf(&ins, "\n\t%q", p)
+			}
+			return spliceBytes(src, at, ins.Bytes()), nil
+		}
+	}
+	// No block: a fresh declaration after the package clause line.
+	at := tf.Offset(f.Name.End())
+	for _, p := range missing {
+		fmt.Fprintf(&ins, "\nimport %q", p)
+	}
+	return spliceBytes(src, at, ins.Bytes()), nil
+}
+
+func spliceBytes(src []byte, at int, ins []byte) []byte {
+	out := make([]byte, 0, len(src)+len(ins))
+	out = append(out, src[:at]...)
+	out = append(out, ins...)
+	out = append(out, src[at:]...)
+	return out
+}
+
+// FixOutcome reports one FixDir run.
+type FixOutcome struct {
+	// Iterations is the number of lint→apply rounds that changed files.
+	Iterations int
+	// ChangedFiles are the files rewritten, in sorted order.
+	ChangedFiles []string
+	// Remaining are the diagnostics of the final, converged lint run —
+	// findings with no fix, or whose fix was suppressed.
+	Remaining []Diagnostic
+}
+
+// maxFixRounds bounds the convergence loop: a fix that keeps producing
+// new fixable diagnostics (a bug in an analyzer's fix) must not loop
+// forever.
+const maxFixRounds = 8
+
+// FixDir runs the analyzers over dir's packages, applies every suggested
+// fix to disk, gofmts, and re-runs until a run suggests nothing — the
+// -fix mode of cmd/maxbrlint. Each round reloads packages from the
+// rewritten sources, so chained repairs (a fix enabling another) land
+// without manual re-runs, and an idempotent second invocation is a
+// byte-level no-op.
+func FixDir(dir string, patterns []string, analyzers []*Analyzer) (*FixOutcome, error) {
+	out := &FixOutcome{}
+	changed := map[string]bool{}
+	for round := 0; ; round++ {
+		diags, err := Run(dir, patterns, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ApplyFixes(diags, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Files) == 0 {
+			out.Remaining = diags
+			break
+		}
+		if round >= maxFixRounds {
+			return nil, fmt.Errorf("lint: fixes did not converge after %d rounds (an analyzer keeps re-suggesting)", maxFixRounds)
+		}
+		for file, content := range res.Files {
+			if err := os.WriteFile(file, content, 0o644); err != nil {
+				return nil, err
+			}
+			changed[file] = true
+		}
+		out.Iterations++
+	}
+	for f := range changed {
+		out.ChangedFiles = append(out.ChangedFiles, f)
+	}
+	sort.Strings(out.ChangedFiles)
+	return out, nil
+}
+
+// nodeText renders an AST node back to source — the fix generators'
+// helper for quoting sub-expressions inside replacement text.
+func nodeText(fset *token.FileSet, n any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden .fixed files from the fixer's actual
+// output: go test ./internal/lint -run TestFix -update
+var updateGoldens = flag.Bool("update", false, "rewrite golden .fixed files")
+
+// fixtureFixes are the fixture dirs whose analyzers ship fixes, each
+// paired with the analyzer driven over it.
+var fixtureFixes = []struct {
+	dir      string
+	analyzer *Analyzer
+}{
+	{"sentinelerr", AnalyzerSentinelErr},
+	{"maporder", AnalyzerMapOrder},
+	{"errwrapchain", AnalyzerErrWrapChain},
+}
+
+// runFixLoop copies testdata/<dir> into a scratch dir and runs the
+// lint→apply→write loop to convergence, mirroring FixDir but through
+// LoadDir (fixtures are invisible to `go list`). It returns the scratch
+// dir, the total fixes applied, and the number of rounds that changed
+// files.
+func runFixLoop(t *testing.T, dir string, a *Analyzer) (scratch string, applied, rounds int) {
+	t.Helper()
+	loader := moduleLoader(t)
+	scratch = t.TempDir()
+	src := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatalf("copying fixture: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, e.Name()), data, 0o644); err != nil {
+			t.Fatalf("copying fixture: %v", err)
+		}
+	}
+	for round := 0; ; round++ {
+		if round > maxFixRounds {
+			t.Fatalf("fixture %s: fixes did not converge after %d rounds", dir, maxFixRounds)
+		}
+		pkg, err := loader.LoadDir(scratch)
+		if err != nil {
+			t.Fatalf("fixture %s round %d: fixed source does not type-check: %v", dir, round, err)
+		}
+		diags := RunAnalyzers(pkg, []*Analyzer{a})
+		res, err := ApplyFixes(diags, nil)
+		if err != nil {
+			t.Fatalf("fixture %s round %d: applying fixes: %v", dir, round, err)
+		}
+		if len(res.Files) == 0 {
+			return scratch, applied, rounds
+		}
+		applied += res.Applied
+		rounds++
+		for file, content := range res.Files {
+			if err := os.WriteFile(file, content, 0o644); err != nil {
+				t.Fatalf("writing fixed file: %v", err)
+			}
+		}
+	}
+}
+
+// TestFixGoldens drives each fix-bearing fixture through the applier and
+// compares the converged output against the checked-in .fixed goldens.
+func TestFixGoldens(t *testing.T) {
+	for _, tc := range fixtureFixes {
+		t.Run(tc.dir, func(t *testing.T) {
+			scratch, applied, _ := runFixLoop(t, tc.dir, tc.analyzer)
+			if applied == 0 {
+				t.Fatalf("fixture %s: the fixer applied nothing", tc.dir)
+			}
+			entries, err := os.ReadDir(scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				got, err := os.ReadFile(filepath.Join(scratch, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden := filepath.Join("testdata", tc.dir, e.Name()+".fixed")
+				if *updateGoldens {
+					if err := os.WriteFile(golden, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to create): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("fixture %s: %s diverges from golden %s:\n--- got ---\n%s",
+						tc.dir, e.Name(), golden, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFixIdempotent re-runs the fixer over already-fixed output: the
+// second invocation must apply zero fixes and rewrite zero files, so
+// `maxbrlint -fix` twice is byte-identical to once.
+func TestFixIdempotent(t *testing.T) {
+	for _, tc := range fixtureFixes {
+		t.Run(tc.dir, func(t *testing.T) {
+			scratch, _, _ := runFixLoop(t, tc.dir, tc.analyzer)
+			loader := moduleLoader(t)
+			pkg, err := loader.LoadDir(scratch)
+			if err != nil {
+				t.Fatalf("fixed fixture does not type-check: %v", err)
+			}
+			diags := RunAnalyzers(pkg, []*Analyzer{tc.analyzer})
+			for _, d := range diags {
+				if d.Fix != nil && len(d.Fix.Edits) > 0 {
+					t.Errorf("converged output still carries a fix at %s: %s", d.Pos, d.Message)
+				}
+			}
+			res, err := ApplyFixes(diags, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Files) != 0 || res.Applied != 0 {
+				t.Errorf("second fix pass rewrote %d file(s), applied %d fix(es); want 0/0", len(res.Files), res.Applied)
+			}
+		})
+	}
+}
+
+// TestApplyFixesConflict pins the greedy-defer semantics: two fixes
+// whose edits overlap apply one per round, never corrupt.
+func TestApplyFixesConflict(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.go")
+	src := []byte("package p\n\nvar v = 1\n")
+	if err := os.WriteFile(file, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(src, []byte("1"))
+	mk := func(text string) Diagnostic {
+		return Diagnostic{
+			Analyzer: "test",
+			Message:  "m",
+			Fix: &Fix{
+				Message: "f",
+				Edits:   []FixEdit{{Filename: file, Offset: off, End: off + 1, NewText: text}},
+			},
+		}
+	}
+	res, err := ApplyFixes([]Diagnostic{mk("2"), mk("3")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Deferred != 1 {
+		t.Fatalf("applied %d deferred %d, want 1/1", res.Applied, res.Deferred)
+	}
+	got := res.Files[file]
+	if want := []byte("package p\n\nvar v = 2\n"); !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestInsertImports covers both landing sites: an existing block and a
+// bare package clause.
+func TestInsertImports(t *testing.T) {
+	withBlock := []byte("package p\n\nimport (\n\t\"fmt\"\n)\n\nvar _ = fmt.Sprint\n")
+	out, err := insertImports(withBlock, []string{"errors", "fmt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte("\"errors\"")) {
+		t.Errorf("errors not inserted:\n%s", out)
+	}
+	if n := bytes.Count(out, []byte("\"fmt\"")); n != 1 {
+		t.Errorf("fmt imported %d times, want 1:\n%s", n, out)
+	}
+	bare := []byte("package p\n\nvar v = 1\n")
+	out, err = insertImports(bare, []string{"errors"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte("import \"errors\"")) {
+		t.Errorf("import not inserted:\n%s", out)
+	}
+}

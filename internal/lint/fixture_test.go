@@ -109,6 +109,10 @@ func TestImmutableAliasFixture(t *testing.T) { runFixture(t, "immutablealias", A
 func TestPinPairFixture(t *testing.T)        { runFixture(t, "pinpair", AnalyzerPinPair) }
 func TestHotPathAllocFixture(t *testing.T)   { runFixture(t, "hotpathalloc", AnalyzerHotPathAlloc) }
 func TestSentinelErrFixture(t *testing.T)    { runFixture(t, "sentinelerr", AnalyzerSentinelErr) }
+func TestMapOrderFixture(t *testing.T)       { runFixture(t, "maporder", AnalyzerMapOrder) }
+func TestExhaustiveEnumFixture(t *testing.T) { runFixture(t, "exhaustiveenum", AnalyzerExhaustiveEnum) }
+func TestErrWrapChainFixture(t *testing.T)   { runFixture(t, "errwrapchain", AnalyzerErrWrapChain) }
+func TestAtomicMixFixture(t *testing.T)      { runFixture(t, "atomicmix", AnalyzerAtomicMix) }
 
 // TestDirectiveMechanics pins the malformed-//maxbr:ignore diagnostics
 // and the suppression semantics: the three malformed directives are
@@ -166,7 +170,10 @@ func TestDirectiveMechanics(t *testing.T) {
 // breaks a fixture breaks the build of the suite's own tests.
 func TestFixturesParseAsGo(t *testing.T) {
 	loader := moduleLoader(t)
-	for _, dir := range []string{"snapshotonce", "immutablealias", "pinpair", "hotpathalloc", "sentinelerr", "directives"} {
+	for _, dir := range []string{
+		"snapshotonce", "immutablealias", "pinpair", "hotpathalloc", "sentinelerr",
+		"maporder", "exhaustiveenum", "errwrapchain", "atomicmix", "directives",
+	} {
 		if _, err := loader.LoadDir(filepath.Join("testdata", dir)); err != nil {
 			t.Errorf("fixture %s does not type-check: %v", dir, err)
 		}
@@ -179,7 +186,10 @@ func TestAnalyzerNamesStable(t *testing.T) {
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
-	want := []string{"snapshotonce", "immutablealias", "pinpair", "hotpathalloc", "sentinelerr"}
+	want := []string{
+		"snapshotonce", "immutablealias", "pinpair", "hotpathalloc", "sentinelerr",
+		"maporder", "exhaustiveenum", "errwrapchain", "atomicmix",
+	}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("analyzer names %v, want %v", names, want)
 	}

@@ -1,0 +1,26 @@
+package lint
+
+// JSONDiagnostic is the stable wire form of one diagnostic for
+// `maxbrlint -json`: one object per line, consumed by editor plugins and
+// CI annotations. The field set is pinned by TestJSONFormatStable — add
+// fields if needed, never rename or remove them.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	HasFix   bool   `json:"has_fix"`
+}
+
+// DiagnosticJSON converts one diagnostic to its wire form.
+func DiagnosticJSON(d Diagnostic) JSONDiagnostic {
+	return JSONDiagnostic{
+		Analyzer: d.Analyzer,
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Message:  d.Message,
+		HasFix:   d.Fix != nil && len(d.Fix.Edits) > 0,
+	}
+}

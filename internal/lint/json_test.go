@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestJSONFormatStable pins the -json wire format byte-for-byte: editor
+// plugins and the CI annotation step parse these lines, so field names
+// and order are a contract.
+func TestJSONFormatStable(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3, Offset: 99},
+		Analyzer: "maporder",
+		Message:  "iterate sorted keys",
+		Fix: &Fix{
+			Message: "sort",
+			Edits:   []FixEdit{{Filename: "a/b.go", Offset: 90, End: 95, NewText: "x"}},
+		},
+	}
+	got, err := json.Marshal(DiagnosticJSON(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"maporder","file":"a/b.go","line":12,"column":3,"message":"iterate sorted keys","has_fix":true}`
+	if string(got) != want {
+		t.Fatalf("wire format drifted:\n got %s\nwant %s", got, want)
+	}
+
+	d.Fix = nil
+	got, err = json.Marshal(DiagnosticJSON(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"analyzer":"maporder","file":"a/b.go","line":12,"column":3,"message":"iterate sorted keys","has_fix":false}`
+	if string(got) != want {
+		t.Fatalf("wire format drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDiagnosticCacheRoundTrip proves a diagnostic (fix included)
+// survives the incremental cache's JSON serialization unchanged — the
+// replayed fix must be byte-equivalent to the fresh one.
+func TestDiagnosticCacheRoundTrip(t *testing.T) {
+	in := []Diagnostic{{
+		Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3, Offset: 99},
+		Analyzer: "sentinelerr",
+		Message:  "use errors.Is",
+		Fix: &Fix{
+			Message:    "rewrite",
+			Edits:      []FixEdit{{Filename: "a/b.go", Offset: 90, End: 95, NewText: "errors.Is(err, ErrX)"}},
+			AddImports: []string{"errors"},
+		},
+	}}
+	data, err := json.Marshal(&cacheEntry{PkgPath: "p", Diagnostics: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := &cacheEntry{}
+	if err := json.Unmarshal(data, entry); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(&cacheEntry{PkgPath: "p", Diagnostics: entry.Diagnostics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(data) {
+		t.Fatalf("cache round trip not lossless:\n  in %s\n out %s", data, re)
+	}
+}

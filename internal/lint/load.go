@@ -33,8 +33,12 @@ type listPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Deps       []string
 	Standard   bool
 }
+
+// listFields is the -json field selection matching listPkg.
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,Deps,Standard"
 
 // goList runs `go list` in dir with the given arguments and decodes the
 // JSON stream.
@@ -79,7 +83,7 @@ func NewLoader(dir string, patterns ...string) (*Loader, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)
+	args := append([]string{"-deps", "-export", listFields}, patterns...)
 	deps, err := goList(dir, args...)
 	if err != nil {
 		return nil, err
@@ -112,6 +116,26 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // Load type-checks the non-standard-library packages the patterns match.
 // Packages are returned in import-path order.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	targets, err := l.Targets(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		pkg, err := l.LoadPackage(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Targets resolves the patterns to the loader's metadata for each
+// matched non-standard-library package, in import-path order, without
+// type-checking anything — the cache layer decides per target whether a
+// LoadPackage is needed at all.
+func (l *Loader) Targets(patterns ...string) ([]*listPkg, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -119,7 +143,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	var out []*listPkg
 	for _, t := range targets {
 		if t.Standard {
 			continue
@@ -128,7 +152,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if !ok {
 			// The target was not in the loader's dependency closure (a
 			// narrower NewLoader pattern); list it with export data now.
-			fresh, err := goList(l.dir, "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard", t.ImportPath)
+			fresh, err := goList(l.dir, "-deps", "-export", listFields, t.ImportPath)
 			if err != nil {
 				return nil, err
 			}
@@ -138,20 +162,24 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 					l.exports[p.ImportPath] = p.Export
 				}
 			}
-			lp = l.deps[t.ImportPath]
+			lp, ok = l.deps[t.ImportPath]
+			if !ok {
+				return nil, fmt.Errorf("lint: %s not in go list output", t.ImportPath)
+			}
 		}
-		files := make([]string, len(lp.GoFiles))
-		for i, gf := range lp.GoFiles {
-			files[i] = filepath.Join(lp.Dir, gf)
-		}
-		pkg, err := l.check(lp.ImportPath, files)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
+		out = append(out, lp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
+}
+
+// LoadPackage type-checks one Targets entry from source.
+func (l *Loader) LoadPackage(lp *listPkg) (*Package, error) {
+	files := make([]string, len(lp.GoFiles))
+	for i, gf := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, gf)
+	}
+	return l.check(lp.ImportPath, files)
 }
 
 // LoadDir type-checks the .go files of one directory outside the go

@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapOrder guards the repo's determinism invariant at its most
+// common failure point: Go randomizes map iteration order per run, so a
+// `range` over a map whose body has order-sensitive effects — appending
+// to a slice, accumulating floats or strings, writing to an encoder or
+// writer — produces results that differ between byte-identical inputs.
+// In a codebase whose standing gate is "every answer byte-identical to
+// the sequential paper pipeline", any such loop on a result- or
+// wire-producing path is a latent equivalence failure that only
+// manifests when the map happens to enumerate differently.
+//
+// Effects the analyzer treats as order-sensitive:
+//
+//   - append whose destination is a plain slice (appends into a map
+//     element, like grouping `byKey[k] = append(byKey[k], v)`, are
+//     order-insensitive and ignored)
+//   - += / -= / string-concat accumulation into a float or string
+//     declared outside the loop (float addition is non-associative;
+//     string concat is order-dependent; integer accumulation commutes
+//     and is not flagged)
+//   - calls that emit bytes in sequence: fmt.Print*/Fprint*, and
+//     Write/WriteString/WriteByte/WriteRune/Encode methods
+//
+// The one clean pattern is exempt: when every slice the loop appends to
+// is sorted after the loop (a sort.*/slices.* call, or any call whose
+// name contains "sort", taking the slice), iteration order cannot reach
+// the result. Loops that fail the check carry a suggested fix that
+// rewrites them to collect-keys → sort → indexed iteration, which is
+// exactly that pattern.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range-over-map loops with order-sensitive effects (append, float/string accumulation, writers); sort the keys first",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		funcScopes(f, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				mt, ok := t.Underlying().(*types.Map)
+				if !ok {
+					return true
+				}
+				effects, appendTargets := mapOrderEffects(pass, rs)
+				if len(effects) == 0 {
+					return true
+				}
+				// The clean idiom: every appended-to slice is sorted after
+				// the loop, so iteration order never reaches the result.
+				if len(appendTargets) == len(effects) && allSortedAfter(pass, body, rs, appendTargets) {
+					return true
+				}
+				pass.ReportFix(rs.Pos(), sortedKeysFix(pass, rs, mt),
+					"map iteration order is randomized but this loop's effects are order-sensitive (%s): iterate sorted keys so results are deterministic",
+					strings.Join(effects, ", "))
+				return true
+			})
+		})
+	}
+}
+
+// mapOrderEffects classifies the order-sensitive effects of a map-range
+// body. It returns human-readable effect labels and the chain strings of
+// plain-slice append destinations (used for the sorted-after exemption:
+// only loops whose sole effects are appends can be exempted).
+func mapOrderEffects(pass *Pass, rs *ast.RangeStmt) (effects []string, appendTargets []string) {
+	info := pass.Info
+	outside := func(e ast.Expr) bool {
+		// Accumulator declared before the loop: its object's definition
+		// position precedes the range statement.
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return true // selector chains (x.sum) are fields: outside
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		return obj == nil || obj.Pos() < rs.Pos()
+	}
+	basicInfo := func(e ast.Expr, flag types.BasicInfo) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&flag != 0
+	}
+	isFloat := func(e ast.Expr) bool { return basicInfo(e, types.IsFloat) }
+	isString := func(e ast.Expr) bool { return basicInfo(e, types.IsString) }
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(n.Args) > 0 {
+					dst := ast.Unparen(n.Args[0])
+					_, intoElem := dst.(*ast.IndexExpr)
+					// Appends into a map element (grouping) and into a
+					// slice declared inside this loop body (a fresh
+					// accumulator each iteration — any ordering issue
+					// belongs to an inner loop, analyzed separately) are
+					// order-insensitive for THIS loop.
+					if !intoElem && outside(dst) {
+						effects = append(effects, fmt.Sprintf("append to %s", types.ExprString(dst)))
+						appendTargets = append(appendTargets, chainString(dst))
+					}
+					return true
+				}
+			}
+			if emitterCall(info, n) {
+				effects = append(effects, "sequential output write")
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if len(n.Lhs) == 1 && outside(n.Lhs[0]) {
+					if isFloat(n.Lhs[0]) {
+						effects = append(effects, fmt.Sprintf("float accumulation into %s", types.ExprString(n.Lhs[0])))
+					} else if n.Tok == token.ADD_ASSIGN && isString(n.Lhs[0]) {
+						effects = append(effects, fmt.Sprintf("string concatenation into %s", types.ExprString(n.Lhs[0])))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return effects, appendTargets
+}
+
+// emitterCall reports whether call writes bytes to an output in call
+// order: fmt.Print*/Fprint* package functions, or a method named
+// Write/WriteString/WriteByte/WriteRune/Encode.
+func emitterCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+// allSortedAfter reports whether every chain in targets is passed, after
+// the range statement, to a sorting call within the same function body.
+func allSortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, targets []string) bool {
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !sortingCall(pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c := chainString(ast.Unparen(arg)); c != "" {
+				sorted[c] = true
+			}
+		}
+		return true
+	})
+	for _, tgt := range targets {
+		if tgt == "" || !sorted[tgt] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortingCall recognizes stdlib in-place sorts plus any callee whose
+// name mentions sort — the local sortTermIDs-style helpers this repo
+// favors on hot paths.
+func sortingCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			switch fn.Name() {
+			case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s",
+				"SortFunc", "SortStableFunc":
+				return true
+			}
+			return strings.Contains(fn.Name(), "Sort")
+		}
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+// sortedKeysFix rewrites the loop header
+//
+//	for k, v := range m {
+//
+// into the collect → sort → indexed-iteration form
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	slices.Sort(keys)
+//	for _, k := range keys {
+//		v := m[k]
+//
+// leaving the body untouched. Offered only when the rewrite is safe to
+// produce mechanically: the map is a side-effect-free ident/selector
+// chain, the key type is ordered and spellable in this package, and the
+// key is usable as a variable.
+func sortedKeysFix(pass *Pass, rs *ast.RangeStmt, mt *types.Map) *SuggestedFix {
+	if rs.Tok != token.DEFINE && rs.Key != nil {
+		return nil // `for k = range m` assigns outer variables; too entangled
+	}
+	mapText := chainString(rs.X)
+	if mapText == "" {
+		return nil // calls or index expressions: evaluating twice is unsafe
+	}
+	keyType, ok := spellableOrdered(pass.Pkg, mt.Key())
+	if !ok {
+		return nil
+	}
+	keyName := "k"
+	keyBound := false
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+		keyBound = true
+	}
+	valueBound := false
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		valueBound = true
+	}
+	if !keyBound && !valueBound {
+		// Neither k nor v is used: the rewritten loop variable would be
+		// unused and the fixed file would not compile.
+		return nil
+	}
+	keysName := freshName(pass, rs, "keys")
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyType, mapText)
+	fmt.Fprintf(&b, "for %s := range %s {\n", keyName, mapText)
+	fmt.Fprintf(&b, "%s = append(%s, %s)\n}\n", keysName, keysName, keyName)
+	fmt.Fprintf(&b, "slices.Sort(%s)\n", keysName)
+	fmt.Fprintf(&b, "for _, %s := range %s {\n", keyName, keysName)
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", v.Name, mapText, keyName)
+	}
+
+	// Replace from `for` through the body's opening brace.
+	return &SuggestedFix{
+		Message:    "iterate over sorted keys",
+		Edits:      []TextEdit{{Pos: rs.Pos(), End: rs.Body.Lbrace + 1, NewText: b.String()}},
+		AddImports: []string{"slices"},
+	}
+}
+
+// spellableOrdered returns the in-package spelling of t if t is usable
+// with slices.Sort and nameable here: an ordered basic type, or a named
+// type with ordered underlying declared in pkg or a stdlib package the
+// file can qualify. Named types from other module packages would need
+// import bookkeeping, so they get a diagnostic without a fix.
+func spellableOrdered(pkg *types.Package, t types.Type) (string, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsOrdered) == 0 {
+		return "", false
+	}
+	switch tt := t.(type) {
+	case *types.Basic:
+		return tt.Name(), true
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pkg {
+			return obj.Name(), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// freshName returns base if no identifier in the enclosing file uses it,
+// else base2, base3, …
+func freshName(pass *Pass, at ast.Node, base string) string {
+	used := map[string]bool{}
+	for _, f := range pass.Files {
+		if f.Pos() <= at.Pos() && at.Pos() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					used[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}

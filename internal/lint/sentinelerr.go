@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -28,14 +29,37 @@ func runSentinelErr(pass *Pass) {
 			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
 				return true
 			}
-			for _, side := range []ast.Expr{be.X, be.Y} {
+			for i, side := range []ast.Expr{be.X, be.Y} {
 				if name, ok := sentinelErrName(pass.Info, side); ok {
-					pass.Report(be.Pos(), "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is(err, %s)", name, be.Op, name)
+					other := be.Y
+					if i == 1 {
+						other = be.X
+					}
+					pass.ReportFix(be.Pos(), errorsIsFix(pass.Fset, be, other, side),
+						"comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is(err, %s)", name, be.Op, name)
 					return true // one diagnostic per comparison
 				}
 			}
 			return true
 		})
+	}
+}
+
+// errorsIsFix rewrites `err == ErrX` to `errors.Is(err, ErrX)` (negated
+// for !=), preserving the source text of both operands.
+func errorsIsFix(fset *token.FileSet, be *ast.BinaryExpr, errSide, sentinel ast.Expr) *SuggestedFix {
+	errText, sentText := nodeText(fset, errSide), nodeText(fset, sentinel)
+	if errText == "" || sentText == "" {
+		return nil
+	}
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	return &SuggestedFix{
+		Message:    "replace the identity comparison with errors.Is",
+		Edits:      []TextEdit{{Pos: be.Pos(), End: be.End(), NewText: fmt.Sprintf("%serrors.Is(%s, %s)", neg, errText, sentText)}},
+		AddImports: []string{"errors"},
 	}
 }
 

@@ -14,6 +14,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerPinPair,
 		AnalyzerHotPathAlloc,
 		AnalyzerSentinelErr,
+		AnalyzerMapOrder,
+		AnalyzerExhaustiveEnum,
+		AnalyzerErrWrapChain,
+		AnalyzerAtomicMix,
 	}
 }
 
@@ -58,18 +62,23 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 	for _, a := range analyzers {
 		name := a.Name
+		report := func(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+			raw = append(raw, Diagnostic{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+				Fix:      resolveFix(pkg.Fset, fix),
+			})
+		}
 		pass := &Pass{
 			Fset:  pkg.Fset,
 			Files: pkg.Files,
 			Pkg:   pkg.Pkg,
 			Info:  pkg.Info,
 			Report: func(pos token.Pos, format string, args ...any) {
-				raw = append(raw, Diagnostic{
-					Pos:      pkg.Fset.Position(pos),
-					Analyzer: name,
-					Message:  fmt.Sprintf(format, args...),
-				})
+				report(pos, nil, format, args...)
 			},
+			ReportFix: report,
 		}
 		a.Run(pass)
 	}

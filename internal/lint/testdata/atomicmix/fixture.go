@@ -1,0 +1,48 @@
+// Package fixture exercises the atomicmix analyzer: a field touched via
+// sync/atomic in one function must not be read or written plainly in
+// another.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+// inc establishes hits as an atomically-accessed field.
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// read races with inc: a plain load of an atomic counter.
+func (c *counter) read() uint64 {
+	return c.hits // want "accessed with sync/atomic in inc"
+}
+
+// reset races the other way: a plain store.
+func (c *counter) reset() {
+	c.hits = 0 // want "accessed with sync/atomic in inc"
+}
+
+// title touches a plain-only field: clean.
+func (c *counter) title() string {
+	return c.name
+}
+
+// incTwice uses the atomic API consistently: clean.
+func (c *counter) incTwice() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.hits, 1)
+}
+
+type gauge struct {
+	val int64
+}
+
+// sample mixes atomic and plain access within one function only — not
+// the cross-function pattern this analyzer scopes to.
+func (g *gauge) sample() int64 {
+	atomic.StoreInt64(&g.val, 1)
+	return g.val
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the errwrapchain analyzer: sentinels through
+// fmt.Errorf must use %w, and errors.Is against freshly built errors is
+// constantly false.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrMissing = errors.New("missing")
+	ErrClosed  = errors.New("closed")
+)
+
+// wrapsWrong flattens the sentinel: errors.Is(err, ErrMissing) upstream
+// stops matching.
+func wrapsWrong(id int) error {
+	return fmt.Errorf("load %d: %v", id, ErrMissing) // want "flattened by %v"
+}
+
+// wrapsString is the same bug through %s.
+func wrapsString(name string) error {
+	return fmt.Errorf("open %q: %s", name, ErrClosed) // want "flattened by %s"
+}
+
+// dynamicFormat hides the verbs; reported without a fix.
+func dynamicFormat(f string) error {
+	return fmt.Errorf(f, ErrMissing) // want "non-constant format"
+}
+
+// alwaysFalse compares against an error nothing could have wrapped.
+func alwaysFalse(err error) bool {
+	return errors.Is(err, errors.New("nope")) // want "always false"
+}
+
+// alwaysFalsef is the fmt.Errorf flavor.
+func alwaysFalsef(err error) bool {
+	return errors.Is(err, fmt.Errorf("nope")) // want "always false"
+}
+
+// wrapsRight keeps the chain intact.
+func wrapsRight(id int) error {
+	return fmt.Errorf("load %d: %w", id, ErrMissing)
+}
+
+// isSentinel is the correct comparison.
+func isSentinel(err error) bool {
+	return errors.Is(err, ErrMissing)
+}
+
+// noSentinelArgs has nothing to wrap.
+func noSentinelArgs(id int) error {
+	return fmt.Errorf("load %d failed", id)
+}

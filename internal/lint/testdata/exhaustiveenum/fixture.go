@@ -1,0 +1,116 @@
+// Package fixture exercises the exhaustiveenum analyzer: switches over
+// module enum types must cover every constant or fail in default.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+type mode int
+
+const (
+	modeA mode = iota
+	modeB
+	modeC
+)
+
+// name has a silent default standing in for modeC: adding a constant
+// compiles and misroutes.
+func name(m mode) string {
+	switch m { // want "misses modeC and its default does not fail"
+	case modeA:
+		return "a"
+	case modeB:
+		return "b"
+	default:
+		return "?"
+	}
+}
+
+// missingNoDefault drops modeC on the floor entirely.
+func missingNoDefault(m mode) {
+	switch m { // want "misses modeC and has no default"
+	case modeA:
+	case modeB:
+	}
+}
+
+// covered lists every constant: the default is then free to do anything.
+func covered(m mode) string {
+	switch m {
+	case modeA:
+		return "a"
+	case modeB:
+		return "b"
+	case modeC:
+		return "c"
+	default:
+		return "?"
+	}
+}
+
+// failingDefaultErr is the canonical compliant shape: unknown values
+// surface as errors.
+func failingDefaultErr(m mode) (string, error) {
+	switch m {
+	case modeA:
+		return "a", nil
+	default:
+		return "", fmt.Errorf("unknown mode %d", int(m))
+	}
+}
+
+var errUnknown = errors.New("unknown mode")
+
+// failingDefaultSentinel returns a sentinel: also failing.
+func failingDefaultSentinel(m mode) error {
+	switch m {
+	case modeA:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+// failingDefaultPanic panics on the unknown value.
+func failingDefaultPanic(m mode) string {
+	switch m {
+	case modeA:
+		return "a"
+	default:
+		panic("unknown mode")
+	}
+}
+
+// failingDefaultExit is the cmd-layer shape.
+func failingDefaultExit(m mode) {
+	switch m {
+	case modeA:
+	default:
+		os.Exit(2)
+	}
+}
+
+type single int
+
+const only single = 0
+
+// useSingle switches over a one-constant type: not an enum, not scoped.
+func useSingle(s single) string {
+	switch s {
+	case only:
+		return "only"
+	}
+	return ""
+}
+
+// nonEnum switches over a plain string: out of scope.
+func nonEnum(s string) int {
+	switch s {
+	case "a":
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+// Package fixture exercises the maporder analyzer: range-over-map loops
+// with order-sensitive effects must iterate sorted keys; the
+// collect-then-sort idiom and order-insensitive bodies stay silent.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// appendUnsorted leaks map iteration order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "order-sensitive"
+		out = append(out, k)
+	}
+	return out
+}
+
+// floatAccum sums floats in random order; float addition is not
+// associative, so the total drifts between runs.
+func floatAccum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "float accumulation"
+		sum += v
+	}
+	return sum
+}
+
+// emit writes lines in map order.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "sequential output write"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// stringConcat builds a string whose content depends on iteration order.
+func stringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "string concatenation"
+		s += v
+	}
+	return s
+}
+
+// sortedAfter is the clean idiom: collect, then sort.
+func sortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortSliceAfter sorts with sort.Slice, which must also count.
+func sortSliceAfter(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// grouping appends into map elements: order-insensitive.
+func grouping(m map[string]int, by map[int][]string) {
+	for k, v := range m {
+		by[v] = append(by[v], k)
+	}
+}
+
+// intSum commutes; integer accumulation is not flagged.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapToMap writes into a map: order-insensitive.
+func mapToMap(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// freshPerIteration appends to a slice created inside the loop body — a
+// fresh accumulator each iteration, so this loop's order never shows.
+func freshPerIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

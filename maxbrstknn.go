@@ -97,6 +97,8 @@ const (
 
 func (m Measure) kind() textrel.MeasureKind {
 	switch m {
+	case LanguageModel:
+		return textrel.LM
 	case TFIDF:
 		return textrel.TFIDF
 	case KeywordOverlap:
@@ -104,7 +106,10 @@ func (m Measure) kind() textrel.MeasureKind {
 	case BM25Measure:
 		return textrel.BM25
 	default:
-		return textrel.LM
+		// Options.Validate rejects out-of-range measures before any path
+		// reaches here; mapping an unknown Measure to LM silently would
+		// recreate the downgrade bug class.
+		panic(fmt.Sprintf("maxbrstknn: unknown Measure %d", int(m)))
 	}
 }
 

@@ -45,6 +45,8 @@ const (
 // String implements fmt.Stringer.
 func (s Strategy) String() string {
 	switch s {
+	case Exact:
+		return "exact"
 	case Approx:
 		return "approx"
 	case Exhaustive:
@@ -52,7 +54,7 @@ func (s Strategy) String() string {
 	case UserIndexed:
 		return "user-indexed"
 	default:
-		return "exact"
+		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
 }
 
@@ -322,8 +324,11 @@ func (s *Session) Run(req Request) (Result, error) {
 			sel, err = s.engine.Baseline(q)
 		case Approx:
 			sel, err = s.engine.SelectParallel(q, core.KeywordsApprox, req.Parallel.core())
-		default:
+		case Exact:
 			sel, err = s.engine.SelectParallel(q, core.KeywordsExact, req.Parallel.core())
+		default:
+			// The enclosing case narrowed Strategy to these three.
+			panic(fmt.Sprintf("maxbrstknn: unreachable strategy %d", int(req.Strategy)))
 		}
 		s.mu.RUnlock()
 	default:
