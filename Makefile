@@ -4,6 +4,11 @@ SERVEDIR ?= /tmp/maxbrstknn-serve-smoke
 SERVEADDR ?= 127.0.0.1:18080
 INGESTDIR ?= /tmp/maxbrstknn-ingest-smoke
 INGESTADDR ?= 127.0.0.1:18081
+SHARDDIR ?= /tmp/maxbrstknn-shard-smoke
+SHARD0ADDR ?= 127.0.0.1:18083
+SHARD1ADDR ?= 127.0.0.1:18084
+COORDADDR ?= 127.0.0.1:18085
+SINGLEADDR ?= 127.0.0.1:18086
 
 # Static analysis. lint-maxbr runs the project's own analyzer suite
 # (cmd/maxbrlint) over the whole tree and fails on any diagnostic — there
@@ -16,7 +21,7 @@ LINT_EXTERNAL ?= auto
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke lint lint-maxbr lint-fix lint-external ci
+.PHONY: all build vet test race bench bench-smoke cli-smoke serve-smoke ingest-smoke shard-smoke fuzz-smoke lint lint-maxbr lint-fix lint-external ci
 
 all: ci
 
@@ -124,6 +129,55 @@ ingest-smoke:
 	@echo "ingest-smoke: ingest-vs-batch-build equivalence gate passed"
 	rm -rf $(INGESTDIR)
 
+# Sharded serving smoke: datagen → two shard servers (each re-derives
+# the spatial plan and builds only its slice) + a scatter-gather
+# coordinator + a single-index server over the same dataset, as four
+# real processes. Every query endpoint is hit through the coordinator
+# and byte-compared (cmp) against the single-index answer — the sharded
+# deployment's standing exactness guarantee — then the coordinator's
+# /stats must show the scatter counters moving.
+shard-smoke:
+	rm -rf $(SHARDDIR) && mkdir -p $(SHARDDIR)
+	$(GO) build -o $(SHARDDIR)/ ./cmd/...
+	cd $(SHARDDIR) && ./datagen -n 2000 -users 100 -locations 10 -out . >/dev/null
+	$(SHARDDIR)/maxbrserve -data $(SHARDDIR) -addr $(SINGLEADDR) >$(SHARDDIR)/single.log 2>&1 & \
+	spid=$$!; \
+	$(SHARDDIR)/maxbrserve -data $(SHARDDIR) -shard 0/2 -addr $(SHARD0ADDR) >$(SHARDDIR)/shard0.log 2>&1 & \
+	p0=$$!; \
+	$(SHARDDIR)/maxbrserve -data $(SHARDDIR) -shard 1/2 -addr $(SHARD1ADDR) >$(SHARDDIR)/shard1.log 2>&1 & \
+	p1=$$!; \
+	$(SHARDDIR)/maxbrserve -coordinator -shards $(SHARD0ADDR),$(SHARD1ADDR) -addr $(COORDADDR) >$(SHARDDIR)/coord.log 2>&1 & \
+	cpid=$$!; \
+	trap 'kill $$spid $$p0 $$p1 $$cpid 2>/dev/null' EXIT; \
+	set -e; \
+	single=http://$(SINGLEADDR); coord=http://$(COORDADDR); \
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 $$single/healthz | grep -q '"status":"ok"'; \
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 http://$(SHARD0ADDR)/healthz | grep -q '"shard":0'; \
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 http://$(SHARD1ADDR)/healthz | grep -q '"shard":1'; \
+	curl -sf --retry 20 --retry-all-errors --retry-delay 1 $$coord/healthz | grep -q '"status":"ok"'; \
+	q='{"users":[{"x":25,"y":40,"keywords":["tag00000","tag00001"]},{"x":60,"y":70,"keywords":["tag00002"]}],"locations":[[25,40],[30,45],[70,80]],"keywords":["tag00000","tag00001"],"max_keywords":1,"k":3'; \
+	for body in "$$q}" \
+		"$$q,\"strategy\":\"approx\",\"parallel\":{\"workers\":2}}" \
+		"$$q,\"strategy\":\"exact\",\"parallel\":{\"workers\":4,\"groups\":8}}" \
+		"$$q,\"strategy\":\"exhaustive\"}"; do \
+		curl -sf $$single/maxbrstknn -d "$$body" >$(SHARDDIR)/want.json; \
+		curl -sf $$coord/maxbrstknn -d "$$body" >$(SHARDDIR)/got.json; \
+		cmp $(SHARDDIR)/want.json $(SHARDDIR)/got.json; \
+	done; \
+	curl -sf $$single/topl -d "$$q,\"l\":2}" >$(SHARDDIR)/want.json; \
+	curl -sf $$coord/topl -d "$$q,\"l\":2}" >$(SHARDDIR)/got.json; \
+	cmp $(SHARDDIR)/want.json $(SHARDDIR)/got.json; \
+	curl -sf $$single/multiple -d "$$q,\"m\":2}" >$(SHARDDIR)/want.json; \
+	curl -sf $$coord/multiple -d "$$q,\"m\":2}" >$(SHARDDIR)/got.json; \
+	cmp $(SHARDDIR)/want.json $(SHARDDIR)/got.json; \
+	curl -sf $$single/topk -d '{"x":25,"y":40,"keywords":["tag00000"],"k":3}' >$(SHARDDIR)/want.json; \
+	curl -sf $$coord/topk -d '{"x":25,"y":40,"keywords":["tag00000"],"k":3}' >$(SHARDDIR)/got.json; \
+	cmp $(SHARDDIR)/want.json $(SHARDDIR)/got.json; \
+	curl -sf $$coord/stats | grep -q '"wave1_visited":[1-9]'; \
+	curl -sf $$coord/stats | grep -q '"served_queries":[1-9]'; \
+	echo "shard-smoke: coordinator answers byte-identical to the single index on every endpoint"
+	rm -rf $(SHARDDIR)
+
 lint: lint-maxbr lint-external
 
 # The nine project-specific analyzers (snapshotonce, immutablealias,
@@ -163,4 +217,4 @@ fuzz-smoke:
 	$(GO) test ./internal/invfile/ -run '^$$' -fuzz '^FuzzDecodeSumsInto$$' -fuzztime 10s
 	$(GO) test ./internal/persist/ -run '^$$' -fuzz '^FuzzDecodeMaster$$' -fuzztime 10s
 
-ci: build vet lint race bench bench-smoke cli-smoke serve-smoke ingest-smoke fuzz-smoke
+ci: build vet lint race bench bench-smoke cli-smoke serve-smoke ingest-smoke shard-smoke fuzz-smoke

@@ -12,10 +12,12 @@
 //	benchrunner -exp disk                # cold vs warm disk-backed serving
 //	benchrunner -exp hotpath -quick      # decoded-cache + scratch hot path
 //	benchrunner -exp ingest -quick       # query latency under live ingest
+//	benchrunner -exp sharded -quick      # scatter-gather sharded serving
 //
 // Experiments: table4 table5 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablations scaling disk hotpath ingest (ingest is
-// opt-in: it mutates its index, so -exp all skips it).
+// fig13 fig14 fig15 ablations scaling disk hotpath ingest sharded
+// (ingest and sharded are opt-in: ingest mutates its index and sharded
+// spins up a multi-server fleet, so -exp all skips both).
 //
 // The hotpath experiment verifies result equivalence between the cold
 // (decode-everything) and warm (decoded-cache) configurations and errors
@@ -27,6 +29,13 @@
 // snapshots vs an emulated reader/writer lock — and ends with the
 // ingest-vs-batch-build equivalence gate; -benchout writes its JSON
 // report (recorded as BENCH_ingest.json).
+//
+// The sharded experiment splits the dataset into 1/2/4 spatial shards,
+// serves each from its own TCP server behind a scatter-gather
+// coordinator, byte-compares every strategy × parallelism response
+// against the single-index server, and times a skewed-cohort stream
+// with bound forwarding on and off; -benchout writes its JSON report
+// (recorded as BENCH_sharded.json).
 //
 // The scaling experiment sweeps the parallel engine over 1/2/4/8 workers;
 // -groups pins the super-user group count across the sweep (default: one
@@ -144,6 +153,16 @@ func main() {
 			}
 			return tables, nil
 		}},
+		{"sharded", func() ([]*experiments.Table, error) {
+			tables, rep, err := serving.FigShardedReport(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeBenchout(*benchout, rep); err != nil {
+				return nil, err
+			}
+			return tables, nil
+		}},
 		{"ablations", func() ([]*experiments.Table, error) {
 			var out []*experiments.Table
 			for _, fn := range []func(experiments.Config) (*experiments.Table, error){
@@ -161,8 +180,11 @@ func main() {
 		}},
 	}
 
-	// "all" regenerates the paper artifacts; ingest is opt-in like the
-	// explicit figure selections, so -exp all stays a read-only pass.
+	// "all" regenerates the paper artifacts; ingest (mutates its index)
+	// and sharded (spins up a multi-server fleet) are opt-in like the
+	// explicit figure selections, so -exp all stays a read-only
+	// single-process pass.
+	optIn := map[string]bool{"ingest": true, "sharded": true}
 	want := map[string]bool{}
 	runAll := *exp == "all"
 	for _, name := range strings.Split(*exp, ",") {
@@ -177,7 +199,7 @@ func main() {
 		if !runAll && !want[e.name] {
 			continue
 		}
-		if runAll && e.name == "ingest" && !want[e.name] {
+		if runAll && optIn[e.name] && !want[e.name] {
 			continue
 		}
 		matched = true

@@ -1,0 +1,435 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	maxbrstknn "repro"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/indexutil"
+	"repro/internal/server"
+	"repro/internal/shardplan"
+)
+
+// shardedShardCounts is the topology axis of the sharded figure.
+var shardedShardCounts = []int{1, 2, 4}
+
+// shardedCohorts is how many distinct (phase-1 paying) user cohorts the
+// timed run streams; each is spatially skewed into a small sub-area so
+// the shards see the imbalanced load a real deployment sees.
+const shardedCohorts = 8
+
+// shardedCohortSize is the user count of each skewed cohort.
+const shardedCohortSize = 16
+
+// ShardedRow is one serving topology's measurements.
+type ShardedRow struct {
+	Mode       string `json:"mode"` // "single" or "coordinator"
+	Shards     int    `json:"shards"`
+	Forwarding bool   `json:"forwarding"`
+	Requests   int    `json:"requests"`
+	// WallMs and ReqPerSec time the skewed-cohort stream (every request a
+	// fresh cohort, so every request pays the scattered phase 1).
+	WallMs    float64 `json:"wall_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	// The coordinator's scatter-gather counters after the run. Wave2Refined
+	// under forwarding vs not is the bound-forwarding effect on phase 1
+	// (seeded thresholds truncate the second wave's candidate scans);
+	// ScatterSkippedFloor is its effect on phase 2.
+	Wave1Visited        int64 `json:"wave1_visited,omitempty"`
+	Wave2Visited        int64 `json:"wave2_visited,omitempty"`
+	Wave1Refined        int64 `json:"wave1_refined,omitempty"`
+	Wave2Refined        int64 `json:"wave2_refined,omitempty"`
+	ScatterEvaluated    int64 `json:"scatter_evaluated,omitempty"`
+	ScatterSkippedFloor int64 `json:"scatter_skipped_floor,omitempty"`
+	Retries             int64 `json:"retries,omitempty"`
+	ShardErrors         int64 `json:"shard_errors,omitempty"`
+}
+
+// ShardedReport is the -benchout payload of the sharded experiment
+// (recorded as BENCH_sharded.json).
+type ShardedReport struct {
+	Objects    int          `json:"objects"`
+	Users      int          `json:"users"`
+	K          int          `json:"k"`
+	Locations  int          `json:"locations"`
+	Cohorts    int          `json:"cohorts"`
+	CohortSize int          `json:"cohort_size"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	ByteGate   string       `json:"byte_gate"`
+	Rows       []ShardedRow `json:"rows"`
+}
+
+// tcpServer is one serving process of the in-process topology: a real
+// TCP listener, so coordinator→shard traffic crosses the loopback stack
+// exactly as it would cross a network.
+type tcpServer struct {
+	url string
+	hs  *http.Server
+}
+
+func serveTCP(h http.Handler) (*tcpServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return &tcpServer{url: "http://" + ln.Addr().String(), hs: hs}, nil
+}
+
+func (t *tcpServer) close() { t.hs.Close() }
+
+// FigShardedReport measures spatially sharded scatter-gather serving
+// against the single-index server on the same dataset, and enforces the
+// sharded-serving guarantee while doing it: every scatterable strategy ×
+// ParallelOptions combination, plus /topl, /multiple and /topk, must
+// come back byte-identical from the 1-, 2- and 4-shard coordinators
+// (with forwarding on and off) — any mismatch is an error.
+//
+// The timed axis streams distinct spatially skewed cohorts (each request
+// pays the scattered phase 1, the half sharding parallelizes) through
+// each topology; the coordinator's wave counters record what bound
+// forwarding saves.
+func FigShardedReport(cfg experiments.Config) ([]*experiments.Table, any, error) {
+	w := experiments.NewWorkload(cfg, 0)
+	opts := maxbrstknn.Options{Measure: measureOf(cfg), Alpha: cfg.Alpha, ExplicitAlpha: true, Fanout: cfg.Fanout}
+	idx, err := indexutil.BuilderFromDataset(w.DS).Build(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer idx.Close()
+	// The frozen corpus comes from the built index, not FrozenCorpusOf on
+	// the raw dataset: generated vocabularies can hold unused terms, and
+	// only the index's replay densification matches the term-id order the
+	// single-index oracle scores (and tie-breaks) under.
+	fc := idx.FrozenCorpus()
+
+	single, err := serveTCP(server.New(idx, server.Config{}).Handler())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer single.close()
+
+	// The shared base query, as in the serving figure.
+	libUsers := indexutil.UserSpecs(w.DS.Vocab, w.US.Users)
+	users := make([]server.UserSpec, len(libUsers))
+	for i, u := range libUsers {
+		users[i] = server.UserSpec{X: u.X, Y: u.Y, Keywords: u.Keywords}
+	}
+	locs := make([][2]float64, len(w.Locs))
+	for i, l := range w.Locs {
+		locs[i] = [2]float64{l.X, l.Y}
+	}
+	kws := make([]string, len(w.US.Keywords))
+	for i, term := range w.US.Keywords {
+		kws[i] = w.DS.Vocab.Term(term)
+	}
+	baseWire := server.QueryRequest{
+		Users: users, Locations: locs, Keywords: kws,
+		MaxKeywords: cfg.WS, K: cfg.K,
+	}
+
+	// Skewed cohorts: each confined to a small random sub-area, so shard
+	// load is imbalanced the way real geography is.
+	cohorts := make([][]server.UserSpec, shardedCohorts)
+	for c := range cohorts {
+		us := dataset.GenerateUsers(w.DS, dataset.UserConfig{
+			NumUsers: shardedCohortSize, UL: cfg.UL, UW: cfg.UW,
+			Area: 2, Seed: cfg.Seed + int64(c+1)*7919,
+		})
+		specs := indexutil.UserSpecs(w.DS.Vocab, us.Users)
+		cohorts[c] = make([]server.UserSpec, len(specs))
+		for i, u := range specs {
+			cohorts[c][i] = server.UserSpec{X: u.X, Y: u.Y, Keywords: u.Keywords}
+		}
+	}
+
+	// Single-index oracle bytes for the gate and for the timed stream.
+	gateBytes, err := collectGateBytes(single.url, baseWire, cfg.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	cohortBytes := make([][]byte, len(cohorts))
+	singleStart := time.Now()
+	for c := range cohorts {
+		q := baseWire
+		q.Users, q.Strategy = cohorts[c], "exact"
+		cohortBytes[c], err = postExpect(single.url+"/maxbrstknn", q, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("single-index cohort %d: %w", c, err)
+		}
+	}
+	singleWallMs := float64(time.Since(singleStart).Microseconds()) / 1000
+
+	rep := &ShardedReport{
+		Objects: len(w.DS.Objects), Users: len(users), K: cfg.K,
+		Locations: len(locs), Cohorts: len(cohorts), CohortSize: shardedCohortSize,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rep.Rows = append(rep.Rows, ShardedRow{
+		Mode: "single", Shards: 1, Requests: len(cohorts),
+		WallMs: singleWallMs, ReqPerSec: float64(len(cohorts)) / singleWallMs * 1000,
+	})
+	gateChecks := 0
+
+	type topo struct {
+		shards  int
+		forward bool
+	}
+	topos := make([]topo, 0, len(shardedShardCounts)+1)
+	for _, n := range shardedShardCounts {
+		topos = append(topos, topo{shards: n, forward: true})
+	}
+	topos = append(topos, topo{shards: shardedShardCounts[len(shardedShardCounts)-1], forward: false})
+
+	// Shard fleets are shared between the forwarding and non-forwarding
+	// coordinators of the same size, so their visited-node comparison is
+	// over identical indexes.
+	fleets := map[int][]string{}
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for _, n := range shardedShardCounts {
+		p, err := shardplan.Split(w.DS, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs := make([]string, n)
+		for s := 0; s < n; s++ {
+			six, err := shardplan.BuildShard(w.DS, p, s, fc, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			ts, err := serveTCP(server.NewShard(six, s, n, server.Config{}).Handler())
+			if err != nil {
+				return nil, nil, err
+			}
+			closers = append(closers, ts.close)
+			addrs[s] = ts.url
+		}
+		fleets[n] = addrs
+	}
+
+	for _, tp := range topos {
+		coord, err := server.NewCoordinator(server.CoordinatorConfig{
+			Shards:            fleets[tp.shards],
+			DisableForwarding: !tp.forward,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cts, err := serveTCP(coord.Handler())
+		if err != nil {
+			return nil, nil, err
+		}
+		closers = append(closers, cts.close)
+
+		// The byte-equivalence gate, against the single-index oracle.
+		checks, err := runGate(cts.url, baseWire, cfg.K, gateBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%d shards (forwarding %v): %w", tp.shards, tp.forward, err)
+		}
+		gateChecks += checks
+
+		// The timed skewed stream, each response verified against the
+		// single-index bytes.
+		start := time.Now()
+		for c := range cohorts {
+			q := baseWire
+			q.Users, q.Strategy = cohorts[c], "exact"
+			if _, err := postExpect(cts.url+"/maxbrstknn", q, cohortBytes[c]); err != nil {
+				return nil, nil, fmt.Errorf("%d shards (forwarding %v) cohort %d: %w", tp.shards, tp.forward, c, err)
+			}
+			gateChecks++
+		}
+		wallMs := float64(time.Since(start).Microseconds()) / 1000
+
+		st, err := coordinatorStats(cts.url)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Rows = append(rep.Rows, ShardedRow{
+			Mode: "coordinator", Shards: tp.shards, Forwarding: tp.forward,
+			Requests: len(cohorts), WallMs: wallMs,
+			ReqPerSec:           float64(len(cohorts)) / wallMs * 1000,
+			Wave1Visited:        st.Phase1.Wave1Visited,
+			Wave2Visited:        st.Phase1.Wave2Visited,
+			Wave1Refined:        st.Phase1.Wave1Refined,
+			Wave2Refined:        st.Phase1.Wave2Refined,
+			ScatterEvaluated:    st.Scatter.Evaluated,
+			ScatterSkippedFloor: st.Scatter.SkippedFloor,
+			Retries:             st.Retries,
+			ShardErrors:         st.ShardErrors,
+		})
+	}
+	rep.ByteGate = fmt.Sprintf("pass (%d byte-identical responses)", gateChecks)
+
+	t := &experiments.Table{
+		Title: fmt.Sprintf("Sharded serving — scatter-gather vs single index (skewed cohorts, GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"mode", "shards", "fwd", "requests", "wall(ms)", "req/s", "speedup", "wave1ref", "wave2ref", "skipped"},
+	}
+	var oneShardWall float64
+	for _, r := range rep.Rows {
+		if r.Mode == "coordinator" && r.Shards == 1 {
+			oneShardWall = r.WallMs
+		}
+	}
+	for _, r := range rep.Rows {
+		speedup := "-"
+		if r.Mode == "coordinator" && oneShardWall > 0 {
+			speedup = f2(oneShardWall / r.WallMs)
+		}
+		fwd := "-"
+		if r.Mode == "coordinator" {
+			fwd = fmt.Sprintf("%v", r.Forwarding)
+		}
+		t.AddRow(r.Mode, fmt.Sprintf("%d", r.Shards), fwd, fmt.Sprintf("%d", r.Requests),
+			f1(r.WallMs), f1(r.ReqPerSec), speedup,
+			fmt.Sprintf("%d", r.Wave1Refined), fmt.Sprintf("%d", r.Wave2Refined),
+			fmt.Sprintf("%d", r.ScatterSkippedFloor))
+	}
+	return []*experiments.Table{t}, rep, nil
+}
+
+// gateCombos enumerates the gate's query bodies: every scatterable
+// strategy × parallelism, plus the list endpoints for the strategies
+// that support them.
+func gateCombos(base server.QueryRequest) []struct {
+	path string
+	body server.QueryRequest
+} {
+	var out []struct {
+		path string
+		body server.QueryRequest
+	}
+	parallels := []server.ParallelSpec{{}, {Workers: 2}, {Workers: 4, Groups: 8}}
+	for _, strat := range []string{"exact", "approx", "exhaustive"} {
+		for _, par := range parallels {
+			q := base
+			q.Strategy, q.Parallel = strat, par
+			out = append(out, struct {
+				path string
+				body server.QueryRequest
+			}{"/maxbrstknn", q})
+			if strat != "exhaustive" {
+				ql := q
+				ql.L = 4
+				out = append(out, struct {
+					path string
+					body server.QueryRequest
+				}{"/topl", ql})
+				qm := q
+				qm.M = 3
+				out = append(out, struct {
+					path string
+					body server.QueryRequest
+				}{"/multiple", qm})
+			}
+		}
+	}
+	return out
+}
+
+// collectGateBytes fetches the single-index oracle response for every
+// gate combination.
+func collectGateBytes(singleURL string, base server.QueryRequest, k int) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	for i, combo := range gateCombos(base) {
+		body, err := postExpect(singleURL+combo.path, combo.body, nil)
+		if err != nil {
+			return nil, fmt.Errorf("single-index %s: %w", combo.path, err)
+		}
+		out[gateKey(i)] = body
+	}
+	tk, err := postTopK(singleURL, base, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	out["topk"] = tk
+	return out, nil
+}
+
+// runGate posts every gate combination to a coordinator and verifies
+// each response is byte-identical to the single-index oracle, returning
+// the number of comparisons made.
+func runGate(coordURL string, base server.QueryRequest, k int, oracle map[string][]byte) (int, error) {
+	checks := 0
+	for i, combo := range gateCombos(base) {
+		if _, err := postExpect(coordURL+combo.path, combo.body, oracle[gateKey(i)]); err != nil {
+			return checks, fmt.Errorf("%s %s/%+v: %w", combo.path, combo.body.Strategy, combo.body.Parallel, err)
+		}
+		checks++
+	}
+	if _, err := postTopK(coordURL, base, k, oracle["topk"]); err != nil {
+		return checks, err
+	}
+	return checks + 1, nil
+}
+
+func gateKey(i int) string { return fmt.Sprintf("combo%d", i) }
+
+// postTopK posts one /topk probe (a fixed query over the base cohort's
+// first user position) and optionally verifies the bytes.
+func postTopK(url string, base server.QueryRequest, k int, want []byte) ([]byte, error) {
+	req := server.TopKRequest{
+		X: base.Users[0].X, Y: base.Users[0].Y,
+		Keywords: base.Keywords, K: k,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return postRaw(url+"/topk", body, want)
+}
+
+// postRaw posts pre-encoded JSON and optionally verifies the response.
+func postRaw(url string, body, want []byte) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, got.Bytes())
+	}
+	if want != nil && !bytes.Equal(got.Bytes(), want) {
+		return nil, fmt.Errorf("sharded equivalence violated:\n got %s\nwant %s", got.Bytes(), want)
+	}
+	return got.Bytes(), nil
+}
+
+// coordinatorStats reads and decodes a coordinator's /stats.
+func coordinatorStats(url string) (*server.CoordinatorStatsPayload, error) {
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("coordinator /stats: status %d: %s", resp.StatusCode, body.Bytes())
+	}
+	var st server.CoordinatorStatsPayload
+	if err := json.Unmarshal(body.Bytes(), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,75 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// PartitionPoints splits the indexes 0..len(pts)-1 into up to `groups`
+// spatially coherent groups with a sort-tile pass: points are sorted by
+// X, cut into vertical slabs, and each slab is sorted by Y and cut into
+// tiles. All ordering ties fall back to the point index, keeping the
+// partition a pure function of (pts, groups) — the property both the
+// grouped traversal and the shard planner rely on for determinism. The
+// returned groups are non-empty and together cover every index exactly
+// once.
+func PartitionPoints(pts []Point, groups int) [][]int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if groups > n {
+		groups = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if groups <= 1 {
+		return [][]int{idx}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return idx[a] < idx[b]
+	})
+
+	cols := int(math.Ceil(math.Sqrt(float64(groups))))
+	out := make([][]int, 0, groups)
+	start, remPts, remGroups := 0, n, groups
+	for c := 0; c < cols && remGroups > 0; c++ {
+		colsLeft := cols - c
+		rows := (remGroups + colsLeft - 1) / colsLeft
+		slabSize := remPts * rows / remGroups
+		if c == cols-1 || slabSize > remPts {
+			slabSize = remPts
+		}
+		slab := idx[start : start+slabSize]
+		sort.Slice(slab, func(a, b int) bool {
+			pa, pb := pts[slab[a]], pts[slab[b]]
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+			return slab[a] < slab[b]
+		})
+		for r := 0; r < rows; r++ {
+			lo := len(slab) * r / rows
+			hi := len(slab) * (r + 1) / rows
+			if hi > lo {
+				out = append(out, slab[lo:hi:hi])
+			}
+		}
+		start += slabSize
+		remPts -= slabSize
+		remGroups -= rows
+	}
+	return out
+}

@@ -11,12 +11,13 @@ import (
 	maxbrstknn "repro"
 )
 
-// sessionCache is an LRU of prepared Sessions keyed by (user set, k).
-// The session's joint top-k phase is the expensive part of every query;
-// caching it means a repeated user cohort pays only for candidate
-// selection. Concurrent requests for the same missing key share one
-// build (singleflight): the first request builds, the rest wait on it.
-type sessionCache struct {
+// lruCache is a singleflight LRU keyed by strings: concurrent requests
+// for the same missing key share one build (the first request builds,
+// the rest wait on it), and build errors are never cached. The serving
+// layer instantiates it for prepared Sessions (the expensive per-cohort
+// joint top-k state), shard sessions, and coordinator-side merged
+// threshold vectors.
+type lruCache[T any] struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[string]*list.Element
@@ -25,16 +26,16 @@ type sessionCache struct {
 	misses   int64
 }
 
-type cacheEntry struct {
+type cacheEntry[T any] struct {
 	key   string
-	ready chan struct{} // closed when sess/err are set
+	ready chan struct{} // closed when val/err are set
 	done  bool          // set under the cache mutex once the build finished
-	sess  *maxbrstknn.Session
+	val   T
 	err   error
 }
 
-func newSessionCache(capacity int) *sessionCache {
-	return &sessionCache{
+func newLRUCache[T any](capacity int) *lruCache[T] {
+	return &lruCache[T]{
 		capacity: capacity,
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
@@ -76,27 +77,27 @@ func sessionKey(epoch uint64, users []maxbrstknn.UserSpec, k int) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// get returns the cached session for key, building it with build on a
+// get returns the cached value for key, building it with build on a
 // miss. Build errors are not cached: the failed entry is removed so the
 // next request retries.
-func (c *sessionCache) get(key string, build func() (*maxbrstknn.Session, error)) (*maxbrstknn.Session, error) {
+func (c *lruCache[T]) get(key string, build func() (T, error)) (T, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
 		c.order.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*cacheEntry[T])
 		c.mu.Unlock()
 		<-e.ready
-		return e.sess, e.err
+		return e.val, e.err
 	}
 	c.misses++
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e := &cacheEntry[T]{key: key, ready: make(chan struct{})}
 	el := c.order.PushFront(e)
 	c.entries[key] = el
 	c.evictLocked()
 	c.mu.Unlock()
 
-	e.sess, e.err = build()
+	e.val, e.err = build()
 	c.mu.Lock()
 	e.done = true
 	if e.err != nil {
@@ -113,7 +114,7 @@ func (c *sessionCache) get(key string, build func() (*maxbrstknn.Session, error)
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return e.sess, e.err
+	return e.val, e.err
 }
 
 // evictLocked trims the LRU to capacity, never evicting an entry whose
@@ -122,13 +123,13 @@ func (c *sessionCache) get(key string, build func() (*maxbrstknn.Session, error)
 // duplicate build — the singleflight guarantee would silently break. The
 // cache may therefore overshoot capacity while every entry is building;
 // each build settles the debt when it finishes.
-func (c *sessionCache) evictLocked() {
+func (c *lruCache[T]) evictLocked() {
 	if c.capacity <= 0 {
 		return
 	}
 	for el := c.order.Back(); el != nil && c.order.Len() > c.capacity; {
 		prev := el.Prev()
-		if e := el.Value.(*cacheEntry); e.done {
+		if e := el.Value.(*cacheEntry[T]); e.done {
 			c.order.Remove(el)
 			delete(c.entries, e.key)
 		}
@@ -137,7 +138,7 @@ func (c *sessionCache) evictLocked() {
 }
 
 // stats returns the current size and cumulative hit/miss counts.
-func (c *sessionCache) stats() (size int, hits, misses int64) {
+func (c *lruCache[T]) stats() (size int, hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len(), c.hits, c.misses

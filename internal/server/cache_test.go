@@ -17,7 +17,7 @@ import (
 // while a later request for the same key silently starts a duplicate
 // build, breaking the singleflight guarantee.
 func TestSessionCacheInFlightNotEvicted(t *testing.T) {
-	c := newSessionCache(1)
+	c := newLRUCache[*maxbrstknn.Session](1)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var buildsA atomic.Int32

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	maxbrstknn "repro"
+)
+
+// coordObject is one global object of the sharded fixture — kept outside
+// the index so shard builders can replay the exact same inputs.
+type coordObject struct {
+	x, y float64
+	kws  []string
+}
+
+// coordFixture builds a deterministic object set, the matching global
+// index, and a wire query (including one user with an unknown keyword,
+// which every shard must treat identically).
+func coordFixture(t testing.TB) ([]coordObject, *maxbrstknn.Index, QueryRequest) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(29))
+	words := []string{"tea", "jazz", "vinyl", "sushi", "fog", "neon", "moss", "kite"}
+	objs := make([]coordObject, 150)
+	b := maxbrstknn.NewBuilder()
+	for i := range objs {
+		objs[i] = coordObject{
+			x: rng.Float64() * 10, y: rng.Float64() * 10,
+			kws: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+		b.AddObject(objs[i].x, objs[i].y, objs[i].kws...)
+	}
+	idx, err := b.Build(maxbrstknn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]UserSpec, 24)
+	for i := range users {
+		users[i] = UserSpec{
+			X: rng.Float64() * 10, Y: rng.Float64() * 10,
+			Keywords: []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]},
+		}
+	}
+	users[7].Keywords = []string{"griffins"} // unknown everywhere
+	locations := make([][2]float64, 9)
+	for i := range locations {
+		locations[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	return objs, idx, QueryRequest{
+		Users:            users,
+		Locations:        locations,
+		Keywords:         words[:5],
+		MaxKeywords:      2,
+		K:                3,
+		ExistingKeywords: []string{"tea"},
+	}
+}
+
+// buildShardServers splits the objects round-robin into n shard indexes
+// under the global frozen corpus and serves each from its own listener.
+func buildShardServers(t testing.TB, objs []coordObject, fc maxbrstknn.FrozenCorpus, n int) []*httptest.Server {
+	t.Helper()
+	out := make([]*httptest.Server, n)
+	for s := 0; s < n; s++ {
+		sb := maxbrstknn.NewShardBuilder(fc)
+		for gid := s; gid < len(objs); gid += n {
+			if err := sb.AddObject(gid, objs[gid].x, objs[gid].y, objs[gid].kws...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		six, err := sb.Build(maxbrstknn.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewShard(six, s, n, Config{}).Handler())
+		t.Cleanup(ts.Close)
+		out[s] = ts
+	}
+	return out
+}
+
+// newCoordinatorTS wires a coordinator over the given shard servers.
+func newCoordinatorTS(t testing.TB, shardTS []*httptest.Server, cfg CoordinatorConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	cfg.Shards = make([]string, len(shardTS))
+	for i, ts := range shardTS {
+		cfg.Shards[i] = ts.URL
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	t.Cleanup(ts.Close)
+	return coord, ts
+}
+
+// TestCoordinatorByteIdentical is the sharded serving guarantee: every
+// endpoint answered through scatter-gather over 2 and 4 shards returns
+// exactly the bytes the single-index server returns — for every
+// scatterable strategy, several parallelism settings, and with bound
+// forwarding both on and off.
+func TestCoordinatorByteIdentical(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	fc := idx.FrozenCorpus()
+	single := httptest.NewServer(New(idx, Config{}).Handler())
+	defer single.Close()
+
+	for _, n := range []int{2, 4} {
+		shardTS := buildShardServers(t, objs, fc, n)
+		_, coordTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{})
+		_, noFwdTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{DisableForwarding: true})
+
+		check := func(path string, body QueryRequest, label string) {
+			t.Helper()
+			wantResp, want := postJSON(t, single, path, body)
+			for _, ts := range []*httptest.Server{coordTS, noFwdTS} {
+				resp, got := postJSON(t, ts, path, body)
+				if resp.StatusCode != wantResp.StatusCode {
+					t.Fatalf("n=%d %s %s: status %d, single-index %d: %s", n, path, label, resp.StatusCode, wantResp.StatusCode, got)
+				}
+				if wantResp.StatusCode == http.StatusOK && !bytes.Equal(got, want) {
+					t.Errorf("n=%d %s %s: not byte-identical:\n got %s\nwant %s", n, path, label, got, want)
+				}
+			}
+		}
+
+		for _, strat := range []string{"exact", "approx", "exhaustive"} {
+			for _, par := range []ParallelSpec{{}, {Workers: 2}, {Workers: 4, Groups: 8}} {
+				q := wire
+				q.Strategy, q.Parallel = strat, par
+				check("/maxbrstknn", q, fmt.Sprintf("%s/%+v", strat, par))
+				if strat != "exhaustive" {
+					q.L = 4
+					check("/topl", q, strat)
+					q.L, q.M = 0, 3
+					check("/multiple", q, strat)
+				}
+			}
+		}
+
+		// /topk: scores on this fixture are distinct, the documented
+		// exactness condition for the cross-shard merge.
+		tkBody := TopKRequest{X: 4.2, Y: 5.1, Keywords: []string{"sushi", "tea"}, K: 5}
+		_, want := postJSON(t, single, "/topk", tkBody)
+		for _, ts := range []*httptest.Server{coordTS, noFwdTS} {
+			resp, got := postJSON(t, ts, "/topk", tkBody)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("n=%d /topk: status %d: %s", n, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("n=%d /topk: not byte-identical:\n got %s\nwant %s", n, got, want)
+			}
+		}
+	}
+}
+
+// TestCoordinatorForwardingSavesWork: with identical fleets, the
+// forwarding coordinator's second-wave traversals must visit no more
+// nodes than the non-forwarding one's — the measurable effect of seeding
+// later shards with the primary's bounds.
+func TestCoordinatorForwardingSavesWork(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	shardTS := buildShardServers(t, objs, idx.FrozenCorpus(), 4)
+	fwd, fwdTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{})
+	raw, rawTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{DisableForwarding: true})
+
+	// Small spatial groups give the refinement per-candidate bounds teeth
+	// (a 24-user group bound is too loose for any threshold to prune
+	// against on a fixture this small).
+	q := wire
+	q.Strategy = "exact"
+	q.Parallel = ParallelSpec{Workers: 2, Groups: 8}
+	if resp, body := postJSON(t, fwdTS, "/maxbrstknn", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarding query failed: %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, rawTS, "/maxbrstknn", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-forwarding query failed: %d: %s", resp.StatusCode, body)
+	}
+	if fwdW2, rawW2 := fwd.wave2Visited.Load(), raw.wave2Visited.Load(); fwdW2 > rawW2 {
+		t.Fatalf("forwarded second wave visited %d nodes, unforwarded %d", fwdW2, rawW2)
+	}
+	// The refinement counter is where seeding must show: a seeded
+	// threshold truncates each wave-2 candidate scan strictly earlier.
+	fwdR2 := fwd.wave2Refined.Load()
+	rawR2 := raw.wave2Refined.Load()
+	if fwdR2 >= rawR2 {
+		t.Fatalf("forwarded second wave refined %d candidates, unforwarded %d: seeding saved nothing", fwdR2, rawR2)
+	}
+	if fwd.wave1Visited.Load() != raw.wave1Visited.Load() {
+		t.Fatalf("primary wave should be identical: %d vs %d", fwd.wave1Visited.Load(), raw.wave1Visited.Load())
+	}
+	if fwd.wave1Refined.Load() != raw.wave1Refined.Load() {
+		t.Fatalf("primary wave refinement should be identical: %d vs %d", fwd.wave1Refined.Load(), raw.wave1Refined.Load())
+	}
+}
+
+// TestCoordinatorKilledShard: a dead shard turns queries into 502s that
+// name the failing shard, and /healthz into a 503 listing it.
+func TestCoordinatorKilledShard(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	shardTS := buildShardServers(t, objs, idx.FrozenCorpus(), 2)
+	_, coordTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{})
+	shardTS[1].Close()
+
+	q := wire
+	q.Strategy = "exact"
+	resp, body := postJSON(t, coordTS, "/maxbrstknn", q)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("query against dead shard: status %d, want 502: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "shard 1") {
+		t.Fatalf("502 does not name the failing shard: %s", body)
+	}
+
+	hresp, hbody := getBody(t, coordTS, "/healthz")
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with dead shard: status %d, want 503: %s", hresp.StatusCode, hbody)
+	}
+	if !strings.Contains(string(hbody), "shard 1") {
+		t.Fatalf("503 does not name the unreachable shard: %s", hbody)
+	}
+}
+
+// TestCoordinatorRetriesConnectionErrors: a connection torn down before
+// any response is retried exactly once and succeeds invisibly; a
+// delivered HTTP error (here a shard-validated 400) is never retried.
+func TestCoordinatorRetriesConnectionErrors(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	shardTS := buildShardServers(t, objs, idx.FrozenCorpus(), 1)
+
+	// A flaky front: drops the first connection of each burst cold, then
+	// forwards to the real shard.
+	var drop atomic.Bool
+	drop.Store(true)
+	inner := shardTS[0]
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if drop.CompareAndSwap(true, false) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server does not support hijacking")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		proxyReq, err := http.NewRequestWithContext(r.Context(), r.Method, inner.URL+r.URL.Path, r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		proxyReq.Header = r.Header
+		resp, err := http.DefaultClient.Do(proxyReq)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer flaky.Close()
+
+	coord, coordTS := newCoordinatorTS(t, []*httptest.Server{flaky}, CoordinatorConfig{})
+
+	q := wire
+	q.Strategy = "exact"
+	resp, body := postJSON(t, coordTS, "/maxbrstknn", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query through flaky shard: status %d: %s", resp.StatusCode, body)
+	}
+	if got := coord.retries.Load(); got != 1 {
+		t.Fatalf("retries = %d, want exactly 1", got)
+	}
+
+	// HTTP-level failure: k=0 is rejected by the shard with 400; the
+	// coordinator passes it through without retrying.
+	q.K = 0
+	resp, body = postJSON(t, coordTS, "/maxbrstknn", q)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid query: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if got := coord.retries.Load(); got != 1 {
+		t.Fatalf("HTTP error was retried: retries = %d, want 1", got)
+	}
+}
+
+// TestCoordinatorStatsAggregation: /stats carries the fleet counters and
+// one entry per shard with that shard's own stats embedded.
+func TestCoordinatorStatsAggregation(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	shardTS := buildShardServers(t, objs, idx.FrozenCorpus(), 2)
+	_, coordTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{})
+
+	q := wire
+	q.Strategy = "exact"
+	if resp, body := postJSON(t, coordTS, "/maxbrstknn", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query failed: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := getBody(t, coordTS, "/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: status %d: %s", resp.StatusCode, body)
+	}
+	var st CoordinatorStatsPayload
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/stats not decodable: %v", err)
+	}
+	if st.Shards != 2 || !st.Forwarding {
+		t.Fatalf("topology wrong: %+v", st)
+	}
+	if st.ServedQueries != 1 {
+		t.Fatalf("served_queries = %d, want 1", st.ServedQueries)
+	}
+	if st.Phase1.Wave1Visited <= 0 || st.Phase1.Wave2Visited <= 0 {
+		t.Fatalf("phase-1 visit counters missing: %+v", st.Phase1)
+	}
+	if st.Scatter.Assigned != int64(len(wire.Locations)) {
+		t.Fatalf("scatter assigned = %d, want %d", st.Scatter.Assigned, len(wire.Locations))
+	}
+	if len(st.PerShard) != 2 {
+		t.Fatalf("per_shard has %d entries, want 2", len(st.PerShard))
+	}
+	for i, ps := range st.PerShard {
+		if ps.Error != "" || ps.Stats == nil {
+			t.Fatalf("shard %d stats probe failed: %+v", i, ps)
+		}
+		if ps.Calls <= 0 {
+			t.Fatalf("shard %d has no recorded calls", i)
+		}
+		if ps.Stats.Objects != 75 {
+			t.Fatalf("shard %d reports %d objects, want 75", i, ps.Stats.Objects)
+		}
+	}
+}
+
+// TestCoordinatorAndShardRejections pins the deliberate 400/501 walls:
+// strategies and endpoints that cannot be answered correctly in a
+// sharded deployment fail fast with an explanation.
+func TestCoordinatorAndShardRejections(t *testing.T) {
+	objs, idx, wire := coordFixture(t)
+	shardTS := buildShardServers(t, objs, idx.FrozenCorpus(), 2)
+	_, coordTS := newCoordinatorTS(t, shardTS, CoordinatorConfig{})
+
+	q := wire
+	q.Strategy = "user-indexed"
+	if resp, body := postJSON(t, coordTS, "/maxbrstknn", q); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("user-indexed: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	q.Strategy = "exhaustive"
+	if resp, body := postJSON(t, coordTS, "/topl", q); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/topl exhaustive: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, coordTS, "/add", AddRequest{X: 1, Y: 1, Keywords: []string{"tea"}}); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("coordinator /add: status %d, want 501: %s", resp.StatusCode, body)
+	}
+
+	// Shards refuse what only the coordinator can answer, and mutations.
+	q.Strategy = "exact"
+	if resp, body := postJSON(t, shardTS[0], "/maxbrstknn", q); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("shard /maxbrstknn: status %d, want 501: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, shardTS[0], "/delete", DeleteRequest{ID: 0}); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("shard /delete: status %d, want 501: %s", resp.StatusCode, body)
+	}
+
+	// A shard's healthz reports its topology position.
+	resp, body := getBody(t, shardTS[1], "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard /healthz: status %d", resp.StatusCode)
+	}
+	var h struct {
+		Shard  int `json:"shard"`
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil || h.Shard != 1 || h.Shards != 2 {
+		t.Fatalf("shard healthz topology wrong: %s (err %v)", body, err)
+	}
+}
+
+func getBody(t testing.TB, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}

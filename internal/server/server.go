@@ -85,7 +85,8 @@ func (c Config) sessionCapacity() int {
 type Server struct {
 	ix       *maxbrstknn.Index
 	cfg      Config
-	sessions *sessionCache
+	shard    *shardState // non-nil only for NewShard servers
+	sessions *lruCache[*maxbrstknn.Session]
 	sem      chan struct{}
 	inFlight atomic.Int64
 	served   atomic.Int64
@@ -98,7 +99,7 @@ func New(ix *maxbrstknn.Index, cfg Config) *Server {
 	s := &Server{
 		ix:       ix,
 		cfg:      cfg,
-		sessions: newSessionCache(cfg.sessionCapacity()),
+		sessions: newLRUCache[*maxbrstknn.Session](cfg.sessionCapacity()),
 		sem:      make(chan struct{}, cfg.maxInFlight()),
 		start:    time.Now(),
 	}
@@ -107,8 +108,12 @@ func New(ix *maxbrstknn.Index, cfg Config) *Server {
 }
 
 // Handler returns the full route table — exported so tests and embedders
-// can serve it from their own listener (httptest, TLS, unix socket).
+// can serve it from their own listener (httptest, TLS, unix socket). A
+// server built with NewShard serves the shard route table instead.
 func (s *Server) Handler() http.Handler {
+	if s.shard != nil {
+		return s.shardHandler()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("POST /maxbrstknn", s.limited(s.handleMaxBRSTkNN))
 	mux.Handle("POST /topl", s.limited(s.handleTopL))
@@ -119,8 +124,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /update", s.limited(s.handleUpdate))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return timeoutHandler(mux, s.cfg.requestTimeout())
+}
+
+// timeoutHandler bounds a route table's response time with the shared
+// JSON error body.
+func timeoutHandler(h http.Handler, d time.Duration) http.Handler {
 	timeoutBody, _ := json.Marshal(map[string]string{"error": "request timed out"})
-	return http.TimeoutHandler(mux, s.cfg.requestTimeout(), string(timeoutBody))
+	return http.TimeoutHandler(h, d, string(timeoutBody))
 }
 
 // ListenAndServe serves until Shutdown (which returns

@@ -265,7 +265,7 @@ func TestSessionCacheHits(t *testing.T) {
 }
 
 func TestSessionCacheEvicts(t *testing.T) {
-	c := newSessionCache(2)
+	c := newLRUCache[*maxbrstknn.Session](2)
 	build := func() (*maxbrstknn.Session, error) { return nil, nil }
 	for _, key := range []string{"a", "b", "c", "b"} {
 		if _, err := c.get(key, build); err != nil {
@@ -289,7 +289,7 @@ func TestSessionCacheEvicts(t *testing.T) {
 }
 
 func TestSessionCacheBuildErrorNotCached(t *testing.T) {
-	c := newSessionCache(4)
+	c := newLRUCache[*maxbrstknn.Session](4)
 	calls := 0
 	build := func() (*maxbrstknn.Session, error) {
 		calls++

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	maxbrstknn "repro"
+)
+
+// shardState is what a Server gains when it serves one shard of a
+// sharded deployment instead of a whole index: the shard index (whose
+// embedded Index also backs the regular stats machinery), the shard's
+// position in the topology, and a cache of prepared shard sessions —
+// cohort-keyed exactly like the single-server session cache, so repeated
+// coordinator calls for the same cohort skip session construction.
+type shardState struct {
+	six      *maxbrstknn.ShardIndex
+	id       int
+	total    int
+	sessions *lruCache[*maxbrstknn.ShardSession]
+}
+
+// NewShard wraps one shard index in a serving layer. The returned server
+// answers the internal scatter-gather endpoints (/shard/phase1,
+// /shard/select), plus /topk (global ids), /stats and /healthz; the
+// cohort query endpoints and mutations answer 501 — a shard alone cannot
+// answer them correctly, only the coordinator's merge can.
+func NewShard(six *maxbrstknn.ShardIndex, id, total int, cfg Config) *Server {
+	s := New(six.Index, cfg)
+	s.shard = &shardState{
+		six:      six,
+		id:       id,
+		total:    total,
+		sessions: newLRUCache[*maxbrstknn.ShardSession](cfg.sessionCapacity()),
+	}
+	// Rebuild the HTTP server around the shard route table (New wired the
+	// single-index one).
+	s.httpSrv.Handler = s.Handler()
+	return s
+}
+
+// shardHandler is the shard-mode route table.
+func (s *Server) shardHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /shard/phase1", s.limited(s.handleShardPhase1))
+	mux.Handle("POST /shard/select", s.limited(s.handleShardSelect))
+	mux.Handle("POST /topk", s.limited(s.handleShardTopK))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleShardHealthz)
+	for _, route := range []string{
+		"POST /maxbrstknn", "POST /topl", "POST /multiple",
+		"POST /add", "POST /delete", "POST /update",
+	} {
+		mux.HandleFunc(route, s.handleNotShardServed)
+	}
+	return timeoutHandler(mux, s.cfg.requestTimeout())
+}
+
+// handleNotShardServed answers the endpoints a shard cannot serve: cohort
+// queries need the cross-shard merge, and mutations are impossible on an
+// immutable shard index.
+func (s *Server) handleNotShardServed(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		fmt.Errorf("%s is not served by a shard (use the coordinator)", r.URL.Path))
+}
+
+// shardSession returns the cached shard session for a cohort, building it
+// on first sight. Shard indexes are immutable so the epoch never moves,
+// but keying by it anyway keeps the one cache-key definition shared with
+// the single-index server.
+func (s *Server) shardSession(users []UserSpec, k int) (*maxbrstknn.ShardSession, error) {
+	specs := make([]maxbrstknn.UserSpec, len(users))
+	for i, u := range users {
+		specs[i] = maxbrstknn.UserSpec{X: u.X, Y: u.Y, Keywords: u.Keywords}
+	}
+	key := sessionKey(s.ix.Epoch(), specs, k)
+	return s.shard.sessions.get(key, func() (*maxbrstknn.ShardSession, error) {
+		return s.shard.six.NewShardSession(specs, k)
+	})
+}
+
+func (s *Server) handleShardPhase1(w http.ResponseWriter, r *http.Request) {
+	var wire Phase1Request
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ss, err := s.shardSession(wire.Users, wire.K)
+	if err != nil {
+		writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	ph, err := ss.Phase1(wire.Seeds, maxbrstknn.ParallelOptions{
+		Workers: wire.Parallel.Workers, Groups: wire.Parallel.Groups,
+	})
+	if err != nil {
+		writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	resp := Phase1Response{PerUser: make([][]RankedPayload, len(ph.PerUser)), Visited: ph.Visited, Refined: ph.Refined}
+	for u, list := range ph.PerUser {
+		rs := make([]RankedPayload, len(list))
+		for i, ro := range list {
+			rs[i] = RankedPayload{ObjectID: ro.ObjectID, Score: ro.Score}
+		}
+		resp.PerUser[u] = rs
+	}
+	writeJSON(w, func() ([]byte, error) { return appendNewline(json.Marshal(resp)) })
+}
+
+func (s *Server) handleShardSelect(w http.ResponseWriter, r *http.Request) {
+	var wire SelectRequest
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := wire.Query.ToRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ss, err := s.shardSession(wire.Query.Users, req.K)
+	if err != nil {
+		writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	cands, stats, err := ss.Scatter(req, wire.RSK, wire.Assigned, wire.Floor, wire.List)
+	if err != nil {
+		writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	resp := SelectResponse{
+		Candidates: make([]ShardCandidatePayload, len(cands)),
+		Stats: ScatterStatsPayload{
+			Assigned:     stats.Assigned,
+			Evaluated:    stats.Evaluated,
+			SkippedFloor: stats.SkippedFloor,
+		},
+	}
+	for i, c := range cands {
+		resp.Candidates[i] = ShardCandidatePayload{Result: PayloadFromResult(c.Result), LU: c.LU}
+	}
+	writeJSON(w, func() ([]byte, error) { return appendNewline(json.Marshal(resp)) })
+}
+
+// handleShardTopK is handleTopK against the shard index's global-id
+// remapping TopK, so coordinator-side merges see global object ids.
+func (s *Server) handleShardTopK(w http.ResponseWriter, r *http.Request) {
+	var wire TopKRequest
+	if err := s.decodeBody(w, r, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.shard.six.TopK(wire.X, wire.Y, wire.Keywords, wire.K)
+	if err != nil {
+		writeError(w, queryErrorStatus(err), err)
+		return
+	}
+	writeJSON(w, func() ([]byte, error) { return TopKJSON(res) })
+}
+
+// handleShardHealthz extends the liveness probe with the shard's position
+// so an operator (and the coordinator's object-count probe) can confirm
+// the topology is wired the way the plan says.
+func (s *Server) handleShardHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, func() ([]byte, error) {
+		return appendNewline(json.Marshal(map[string]any{
+			"status":  "ok",
+			"objects": s.ix.NumObjects(),
+			"shard":   s.shard.id,
+			"shards":  s.shard.total,
+		}))
+	})
+}

@@ -1,0 +1,87 @@
+package textrel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/vocab"
+)
+
+// MaxWeights dumps the per-term corpus maxima of a model for terms
+// 0..n-1 — the only model state that requires a pass over the full
+// object corpus. Together with the corpus statistics it freezes a model
+// so NewModelFrozen can rebuild it bit-for-bit without the objects.
+func MaxWeights(m Model, n int) []float64 {
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = m.MaxWeight(vocab.TermID(t))
+	}
+	return out
+}
+
+// NewModelFrozen rebuilds the measure of the given kind from corpus
+// statistics plus injected per-term maxima, without scanning ds.Objects.
+//
+// Every model's state splits into two parts: values derived purely from
+// ds.Stats (LM smoothing floors, TF-IDF/BM25 idf, BM25 avgdl) and the
+// per-term corpus maxima, which the ordinary constructors compute with a
+// pass over every object document. A shard index holds only a subset of
+// the objects but must score them under the *global* corpus context, so
+// the maxima are injected from a full-corpus dump (MaxWeights) while the
+// stats-derived parts are recomputed here by exactly the floating-point
+// operations of the ordinary constructors — making the frozen model
+// bit-for-bit identical to the model a whole-corpus build produces.
+//
+// maxW must have ds.Vocab.Size() entries; KO is stateless and ignores it.
+func NewModelFrozen(kind MeasureKind, ds *dataset.Dataset, lambda float64, maxW []float64) (Model, error) {
+	if kind != KO && len(maxW) != ds.Vocab.Size() {
+		return nil, fmt.Errorf("textrel: frozen maxW has %d entries, vocabulary has %d", len(maxW), ds.Vocab.Size())
+	}
+	switch kind {
+	case LM:
+		if lambda < 0 || lambda > 1 {
+			return nil, fmt.Errorf("textrel: lambda must be in [0,1], got %v", lambda)
+		}
+		n := ds.Vocab.Size()
+		m := &LanguageModel{lambda: lambda, floor: make([]float64, n), maxW: append([]float64(nil), maxW...)}
+		totalC := float64(ds.Stats.TotalTerms)
+		for t := 0; t < n; t++ {
+			if totalC > 0 {
+				m.floor[t] = lambda * float64(ds.Stats.CollectionFreq[t]) / totalC
+			}
+		}
+		return m, nil
+	case TFIDF:
+		n := ds.Vocab.Size()
+		m := &TFIDFModel{idf: make([]float64, n), maxW: append([]float64(nil), maxW...)}
+		numDocs := float64(ds.Stats.NumDocs)
+		for t := 0; t < n; t++ {
+			if df := ds.Stats.DocFreq[t]; df > 0 {
+				m.idf[t] = math.Log(numDocs / float64(df))
+			}
+		}
+		return m, nil
+	case KO:
+		return NewKeywordOverlap(ds), nil
+	case BM25:
+		n := ds.Vocab.Size()
+		m := &BM25Model{idf: make([]float64, n), maxW: append([]float64(nil), maxW...)}
+		numDocs := float64(ds.Stats.NumDocs)
+		if numDocs > 0 {
+			m.avgdl = float64(ds.Stats.TotalTerms) / numDocs
+		}
+		if m.avgdl == 0 {
+			m.avgdl = 1
+		}
+		for t := 0; t < n; t++ {
+			df := float64(ds.Stats.DocFreq[t])
+			if df > 0 {
+				m.idf[t] = math.Log(1 + (numDocs-df+0.5)/(df+0.5))
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("textrel: unknown measure %d", int(kind))
+	}
+}

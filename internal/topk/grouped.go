@@ -2,10 +2,10 @@ package topk
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/container"
 	"repro/internal/dataset"
+	"repro/internal/geo"
 	"repro/internal/irtree"
 	"repro/internal/parallel"
 	"repro/internal/textrel"
@@ -18,66 +18,15 @@ import (
 // far more of the object index than the loose all-users super-user of
 // Section 5.2, so grouping speeds the joint phase up even before any
 // concurrency is applied. All ordering ties fall back to the user index,
-// keeping the partition deterministic.
+// keeping the partition deterministic. It is geo.PartitionPoints applied
+// to the user locations — the same primitive the shard planner uses, so
+// shard boundaries and traversal groups tile space the same way.
 func PartitionUsers(users []dataset.User, groups int) [][]int {
-	n := len(users)
-	if n == 0 {
-		return nil
+	pts := make([]geo.Point, len(users))
+	for i := range users {
+		pts[i] = users[i].Loc
 	}
-	if groups > n {
-		groups = n
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	if groups <= 1 {
-		return [][]int{idx}
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ua, ub := users[idx[a]], users[idx[b]]
-		if ua.Loc.X != ub.Loc.X {
-			return ua.Loc.X < ub.Loc.X
-		}
-		if ua.Loc.Y != ub.Loc.Y {
-			return ua.Loc.Y < ub.Loc.Y
-		}
-		return idx[a] < idx[b]
-	})
-
-	cols := int(math.Ceil(math.Sqrt(float64(groups))))
-	out := make([][]int, 0, groups)
-	start, remUsers, remGroups := 0, n, groups
-	for c := 0; c < cols && remGroups > 0; c++ {
-		colsLeft := cols - c
-		rows := (remGroups + colsLeft - 1) / colsLeft
-		slabSize := remUsers * rows / remGroups
-		if c == cols-1 || slabSize > remUsers {
-			slabSize = remUsers
-		}
-		slab := idx[start : start+slabSize]
-		sort.Slice(slab, func(a, b int) bool {
-			ua, ub := users[slab[a]], users[slab[b]]
-			if ua.Loc.Y != ub.Loc.Y {
-				return ua.Loc.Y < ub.Loc.Y
-			}
-			if ua.Loc.X != ub.Loc.X {
-				return ua.Loc.X < ub.Loc.X
-			}
-			return slab[a] < slab[b]
-		})
-		for r := 0; r < rows; r++ {
-			lo := len(slab) * r / rows
-			hi := len(slab) * (r + 1) / rows
-			if hi > lo {
-				out = append(out, slab[lo:hi:hi])
-			}
-		}
-		start += slabSize
-		remUsers -= slabSize
-		remGroups -= rows
-	}
-	return out
+	return geo.PartitionPoints(pts, groups)
 }
 
 // refineAux is the per-group pruning index the parallel refinement builds
@@ -146,13 +95,33 @@ func (sc *RefineScratch) heap(k int) *container.StableTopK[irtree.Result] {
 //
 //maxbr:hotpath
 func OneUserTopKPrunedWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int, sc *RefineScratch) UserTopK {
+	return OneUserTopKSeededWith(ds, scorer, u, norm, tr, aux, k, -math.MaxFloat64, sc)
+}
+
+// OneUserTopKSeededWith is OneUserTopKPrunedWith with an externally
+// supplied score seed: the refinement threshold runs at max(heap
+// threshold, seed) throughout. With seed = −MaxFloat64 it is
+// step-for-step identical to the unseeded scan. A coordinator merging
+// per-shard top-k lists passes the k-th best score user u already holds
+// from earlier shards; candidates below that seed are skipped because
+// they can never enter u's merged top-k, while boundary ties survive
+// (the qualifying test is s ≥ threshold, and merged retention under the
+// StableTopK order depends only on the candidate multiset at or above
+// the global k-th score).
+//
+//maxbr:hotpath
+func OneUserTopKSeededWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *dataset.User, norm float64, tr *TraversalResult, aux *refineAux, k int, seed float64, sc *RefineScratch) UserTopK {
 	hu := sc.heap(k)
+	scored := len(tr.LO)
 	for _, o := range tr.LO {
 		obj := &ds.Objects[o.ObjID]
 		s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norm)
 		hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s, int64(o.ObjID))
 	}
 	rsk := hu.Threshold()
+	if seed > rsk {
+		rsk = seed
+	}
 	alpha := scorer.Alpha
 	for i := range tr.RO {
 		o := &tr.RO[i]
@@ -168,10 +137,14 @@ func OneUserTopKPrunedWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *datas
 			}
 		}
 		obj := &ds.Objects[o.ObjID]
+		scored++
 		s := scorer.STS(obj.Loc, obj.Doc, u.Loc, u.Doc, norm)
 		if s >= rsk {
 			hu.Offer(irtree.Result{ObjID: o.ObjID, Score: s}, s, int64(o.ObjID))
 			rsk = hu.Threshold()
+			if seed > rsk {
+				rsk = seed
+			}
 		}
 	}
 	// PopAscending yields worst→best under (score, then object ID);
@@ -180,7 +153,7 @@ func OneUserTopKPrunedWith(ds *dataset.Dataset, scorer *textrel.Scorer, u *datas
 	for i, j := 0, len(results)-1; i < j; i, j = i+1, j-1 {
 		results[i], results[j] = results[j], results[i]
 	}
-	return UserTopK{Results: results, RSk: rsk}
+	return UserTopK{Results: results, RSk: rsk, Scored: scored}
 }
 
 // JointTopKParallel is the grouped, concurrent form of JointTopK: the user
@@ -241,6 +214,88 @@ func JointTopKParallel(tree *irtree.Tree, scorer *textrel.Scorer, users []datase
 	})
 
 	res := &JointResult{PerUser: per, Norms: norms}
+	for _, tr := range travs {
+		res.Visited += tr.Visited
+	}
+	for i := range per {
+		res.Refined += per[i].Scored
+	}
+	if len(parts) == 1 {
+		res.Super, res.Trav = sus[0], travs[0]
+	}
+	return res, nil
+}
+
+// JointTopKParallelSeeded is JointTopKParallel with per-user score seeds:
+// seeds[ui] is a lower bound on user ui's global k-th best score that a
+// coordinator established from other shards' answers. Each group
+// traversal runs with floor = min over the group's seeds (TraverseBounded
+// — an object below every group member's seed can never qualify for any
+// of them), and each refinement runs at the user's own seed
+// (OneUserTopKSeededWith). With all-zero seeds the extra tests never
+// fire on the non-negative score domain, so results match the unseeded
+// pipeline exactly; with real seeds the per-user lists restricted to
+// scores ≥ the seed are preserved, which is all a merged global top-k
+// consumes. Unlike JointTopKParallel this always takes the grouped path
+// (a single group is byte-identical to the sequential pipeline anyway).
+func JointTopKParallelSeeded(tree *irtree.Tree, scorer *textrel.Scorer, users []dataset.User, k, workers, groups int, seeds []float64) (*JointResult, error) {
+	parts := PartitionUsers(users, groups)
+	norms := scorer.UserNorms(users)
+
+	floors := make([]float64, len(parts))
+	for g, part := range parts {
+		f := math.MaxFloat64
+		for _, ui := range part {
+			if seeds[ui] < f {
+				f = seeds[ui]
+			}
+		}
+		floors[g] = f
+	}
+
+	travs := make([]*TraversalResult, len(parts))
+	auxes := make([]*refineAux, len(parts))
+	sus := make([]SuperUser, len(parts))
+	errs := make([]error, len(parts))
+	travScratch := make([]TraverseScratch, parallel.Workers(len(parts), workers))
+	parallel.ForNWorkers(len(parts), workers, func(w, g int) {
+		gu := make([]dataset.User, len(parts[g]))
+		for i, ui := range parts[g] {
+			gu[i] = users[ui]
+		}
+		sus[g] = BuildSuperUser(gu, scorer)
+		travs[g], errs[g] = TraverseBounded(tree, scorer, sus[g], k, floors[g], &travScratch[w])
+		if errs[g] == nil {
+			auxes[g] = buildRefineAux(travs[g])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	groupOf := make([]int, len(users))
+	for g, part := range parts {
+		for _, ui := range part {
+			groupOf[ui] = g
+		}
+	}
+	per := make([]UserTopK, len(users))
+	ds := tree.Dataset()
+	refScratch := make([]RefineScratch, parallel.Workers(len(users), workers))
+	parallel.ForNWorkers(len(users), workers, func(w, ui int) {
+		g := groupOf[ui]
+		per[ui] = OneUserTopKSeededWith(ds, scorer, &users[ui], norms[ui], travs[g], auxes[g], k, seeds[ui], &refScratch[w])
+	})
+
+	res := &JointResult{PerUser: per, Norms: norms}
+	for _, tr := range travs {
+		res.Visited += tr.Visited
+	}
+	for i := range per {
+		res.Refined += per[i].Scored
+	}
 	if len(parts) == 1 {
 		res.Super, res.Trav = sus[0], travs[0]
 	}

@@ -34,6 +34,10 @@ type TraversalResult struct {
 	RO []BoundedObject
 	// RSkSuper is RSk(us); −MaxFloat64 when fewer than k objects exist.
 	RSkSuper float64
+	// Visited counts tree nodes expanded (ReadNode calls) — the traversal
+	// work metric the sharded experiments use to show a forwarded bound
+	// pruning deeper.
+	Visited int
 }
 
 // Candidates returns LO followed by RO.
@@ -128,11 +132,31 @@ func Traverse(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int) (*
 //
 //maxbr:hotpath
 func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int, sc *TraverseScratch) (*TraversalResult, error) {
+	return TraverseBounded(tree, scorer, su, k, -math.MaxFloat64, sc)
+}
+
+// TraverseBounded is TraverseWith with an externally supplied score floor:
+// every pruning test runs against max(RSk(us), floor) instead of RSk(us)
+// alone. With floor = −MaxFloat64 it is step-for-step identical to the
+// unseeded traversal (all bounds are finite, so a −MaxFloat64 threshold
+// never fires before LO fills). A coordinator that already knows a global
+// lower bound — the k-th best score some other shard established — passes
+// it as the floor so this traversal prunes subtrees and objects that
+// bound proves can never enter any group user's global top-k: for every
+// group user u, floor ≤ RSk_global(u), and an object with group UB below
+// the floor scores below it for every user. Lossless for the merged
+// answer by construction.
+//
+//maxbr:hotpath
+func TraverseBounded(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int, floor float64, sc *TraverseScratch) (*TraversalResult, error) {
 	//maxbr:ignore hotpathalloc the result object is the one deliberate allocation per traversal (documented above)
 	res := &TraversalResult{RSkSuper: -math.MaxFloat64}
 	if tree.RootID() < 0 || su.NumUsers == 0 {
 		return res, nil
 	}
+
+	// thr is the live pruning threshold: max(res.RSkSuper, floor).
+	thr := floor
 
 	// PQ is keyed by the lower bound (descending), per Section 5.4: objects
 	// with the best lower bounds surface early, which tightens RSk(us).
@@ -143,32 +167,39 @@ func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int
 		c, lb := pq.Pop()
 		if !c.isNode {
 			obj := BoundedObject{ObjID: c.ref, LB: lb, UB: c.ub, SMax: c.smax, RawText: c.braw}
+			if obj.UB < thr {
+				continue // cannot be a top-k object of any user
+			}
 			if !lo.Full() {
 				lo.Offer(obj, obj.LB)
 				if lo.Full() {
 					res.RSkSuper = lo.Threshold()
+					if res.RSkSuper > thr {
+						thr = res.RSkSuper
+					}
 				}
 				continue
 			}
-			if obj.UB < res.RSkSuper {
-				continue // cannot be a top-k object of any user
-			}
 			evicted, _, wasEvicted := lo.Offer(obj, obj.LB)
 			res.RSkSuper = lo.Threshold()
+			if res.RSkSuper > thr {
+				thr = res.RSkSuper
+			}
 			if !wasEvicted {
 				// obj itself did not enter LO; it is its own "evicted".
 				evicted = obj
 			}
-			if evicted.UB >= res.RSkSuper {
+			if evicted.UB >= thr {
 				roHeap.Push(evicted, evicted.UB)
 			}
 			continue
 		}
 
 		// Node: prune unless it may contain a top-k object of some user.
-		if lo.Full() && c.ub < res.RSkSuper {
+		if c.ub < thr {
 			continue
 		}
+		res.Visited++
 		node, err := tree.ReadNode(c.ref)
 		if err != nil {
 			return nil, err
@@ -176,15 +207,15 @@ func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int
 		// Fused, term-filtered decode: the node stores postings for its
 		// whole subtree vocabulary, but only the group's union and
 		// intersection terms contribute to the bounds. The sums land in
-		// the scratch buffers — no per-node allocation. Once LO is full a
-		// threshold exists, so packed indexes additionally screen entries
-		// against the block maxima, skipping the decode of posting blocks
-		// whose entries all fail the same ub-vs-RSk test applied below
-		// (RSkSuper and lo.Full() are fixed for the whole entry loop, so
-		// the screen and the loop test agree).
+		// the scratch buffers — no per-node allocation. Once a finite
+		// threshold exists (LO full, or a forwarded floor), packed indexes
+		// additionally screen entries against the block maxima, skipping
+		// the decode of posting blocks whose entries all fail the same
+		// ub-vs-threshold test applied below (thr is fixed for the whole
+		// entry loop, so the screen and the loop test agree).
 		var check func(entry int, optMaxSum float64) bool
-		if lo.Full() {
-			sc.bc = boundCtx{scorer: scorer, entries: node.Entries, mbr: su.MBR, minNorm: su.MinNorm, threshold: res.RSkSuper}
+		if thr > -math.MaxFloat64 {
+			sc.bc = boundCtx{scorer: scorer, entries: node.Entries, mbr: su.MBR, minNorm: su.MinNorm, threshold: thr}
 			check = sc.screen()
 		}
 		maxSums, minSums, pruned, err := tree.ReadInvSumsBounded(node, su.Uni, su.Int, &sc.sums, check)
@@ -197,7 +228,7 @@ func TraverseWith(tree *irtree.Tree, scorer *textrel.Scorer, su SuperUser, k int
 			}
 			smax := scorer.SSMax(e.Rect, su.MBR)
 			ub := scorer.Alpha*smax + (1-scorer.Alpha)*su.UBText(maxSums[i])
-			if lo.Full() && ub < res.RSkSuper {
+			if ub < thr {
 				continue
 			}
 			entryLB := scorer.Alpha*scorer.SSMin(e.Rect, su.MBR) + (1-scorer.Alpha)*su.LBText(minSums[i])
@@ -221,6 +252,12 @@ type UserTopK struct {
 	// than k objects exist) — the threshold every MaxBRSTkNN candidate
 	// must beat for this user.
 	RSk float64
+	// Scored counts the candidates this refinement actually evaluated
+	// (exact STS computations). Tree-node visits measure traversal work;
+	// this measures refinement work — the part a seeded threshold
+	// truncates, since a higher starting RSk breaks the descending-UB
+	// candidate scan earlier.
+	Scored int
 }
 
 // IndividualTopK implements Algorithm 2: computes each user's exact top-k
@@ -274,6 +311,12 @@ type JointResult struct {
 	PerUser []UserTopK
 	Trav    *TraversalResult
 	Norms   []float64
+	// Visited totals the tree nodes expanded across all group traversals
+	// (populated by the grouped/seeded pipelines; see TraversalResult).
+	Visited int
+	// Refined totals the candidates scored across all per-user refinements
+	// (populated by the grouped/seeded pipelines; see UserTopK.Scored).
+	Refined int
 }
 
 // JointTopK runs the full Section 5 pipeline: build the super-user,

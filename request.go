@@ -254,6 +254,23 @@ func (ix *Index) NewSession(users []UserSpec, k int) (*Session, error) {
 // whose super-user traversals execute on up to opts.Workers goroutines.
 // The prepared thresholds are identical to NewSession's.
 func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOptions) (*Session, error) {
+	s, err := ix.newSession(users, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.engine.PrepareJointParallel(k, opts.core()); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// newSession assembles a session — pinned snapshot, cohort documents,
+// scorer, engine — without preparing the engine's thresholds. It is the
+// shared base of NewParallelSession (which prepares them with a local
+// joint top-k) and NewShardSession (whose thresholds arrive from a
+// coordinator instead).
+func (ix *Index) newSession(users []UserSpec, k int) (*Session, error) {
 	if len(users) == 0 {
 		return nil, fmt.Errorf("maxbrstknn: at least one user required")
 	}
@@ -278,10 +295,6 @@ func (ix *Index) NewParallelSession(users []UserSpec, k int, opts ParallelOption
 	}
 	scorer := ix.scorerFor(sn, dataset.UsersMBR(dsUsers))
 	engine := core.NewEngine(sn.tree, scorer, dsUsers)
-	if err := engine.PrepareJointParallel(k, opts.core()); err != nil {
-		pin.release()
-		return nil, err
-	}
 	s := &Session{ix: ix, snap: sn, users: dsUsers, k: k, engine: engine, unknowns: unknowns.local, pin: pin}
 	// GC fallback: a session abandoned without Close still releases its
 	// pin once unreachable, so reclamation is delayed, never blocked.
